@@ -1,0 +1,83 @@
+"""Ablation — adaptive mode switching vs fixed sync / fixed async.
+
+The paper motivates "a transparent and adaptive asynchronous I/O
+interface to automatically enable asynchronous I/O when needed"
+(§II-B).  On a workload whose compute phases shrink over time (crossing
+the Fig. 1c boundary), a fixed choice is wrong in one regime; the
+Fig. 2 feedback loop should land within a few percent of the better
+fixed mode in *both* regimes combined.
+"""
+
+from repro.sim import Engine
+from repro.mpi import MPIJob
+from repro.platform import Cluster
+from repro.platform import testbed as make_testbed
+from repro.hdf5 import FLOAT64, AsyncVOL, H5Library, NativeVOL, slab_1d
+from repro.harness.report import FigureData
+from repro.model import (
+    Advisor,
+    AdaptiveVOL,
+    ComputeTimeModel,
+    IORateModel,
+    MeasurementHistory,
+    TransactOverheadModel,
+)
+
+MiB = 1 << 20
+NPROCS = 8
+ELEMS = 4 * MiB  # 32 MiB float64 per rank per epoch
+SCHEDULE = [6.0] * 8 + [1e-4] * 24  # long-compute regime, then I/O-bound
+
+
+def _program(lib, vol):
+    def program(ctx):
+        f = yield from lib.create(ctx, "/abl.h5", vol)
+        for epoch, compute in enumerate(SCHEDULE):
+            yield ctx.compute(compute)
+            d = f.create_dataset(f"/e{epoch}/x", shape=(ELEMS * ctx.size,),
+                                 dtype=FLOAT64)
+            yield from d.write(slab_1d(ctx.rank, ELEMS), phase=epoch)
+        yield from f.close()
+        return ctx.now
+
+    return program
+
+
+def _run(policy: str) -> float:
+    engine = Engine()
+    cluster = Cluster(engine, make_testbed(nodes=2, ranks_per_node=4), 2)
+    lib = H5Library(cluster)
+    if policy == "sync":
+        vol = NativeVOL()
+    elif policy == "async":
+        vol = AsyncVOL(init_time=0.0)
+    else:
+        advisor = Advisor(
+            ComputeTimeModel(decay=0.7),
+            IORateModel(MeasurementHistory(), mode="sync", min_samples=3),
+            TransactOverheadModel.from_memcpy_spec(cluster.machine.node.memcpy),
+        )
+        vol = AdaptiveVOL(NativeVOL(), AsyncVOL(init_time=0.0), advisor,
+                          nranks=NPROCS)
+    job = MPIJob(cluster, NPROCS)
+    return max(job.run(_program(lib, vol)))
+
+
+def test_ablation_adaptive_mode_selection(benchmark, save_figure):
+    def run_all():
+        return {p: _run(p) for p in ("sync", "async", "adaptive")}
+
+    times = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    fig = FigureData(
+        "ablation-advisor",
+        "Mixed-regime workload: fixed sync, fixed async, adaptive (Fig. 2)",
+        columns=["policy", "app time s"],
+    )
+    for policy, t in times.items():
+        fig.add_row(policy, t)
+    save_figure(fig)
+
+    best_fixed = min(times["sync"], times["async"])
+    # the adaptive policy is competitive with the best fixed choice
+    assert times["adaptive"] <= best_fixed * 1.05

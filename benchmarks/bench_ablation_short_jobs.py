@@ -1,0 +1,79 @@
+"""Ablation — initialization cost on short-running jobs.
+
+The paper's related work cites Maurya et al. [24] on "reducing the
+initialization cost for short-running jobs where it cannot be amortized
+over the total runtime" (§II-C), and its own model carries ``t_init``
+for exactly this reason (Eq. 1, §III-A).  Sweeping the epoch count with
+a deliberately expensive async-VOL initialization shows the crossover:
+below it, synchronous I/O wins despite slower epochs.
+"""
+
+from repro.sim import Engine
+from repro.mpi import MPIJob
+from repro.platform import Cluster
+from repro.platform import testbed as make_testbed
+from repro.hdf5 import FLOAT64, AsyncVOL, EventSet, H5Library, NativeVOL, slab_1d
+from repro.harness.report import FigureData
+from repro.model import EpochCosts, app_time
+
+MiB = 1 << 20
+NPROCS = 8
+ELEMS = 32 * MiB  # 256 MiB float64 per rank per epoch
+COMPUTE = 0.2
+INIT_TIME = 1.0  # heavy connector setup (buffers, threads, descriptors)
+EPOCH_COUNTS = [1, 2, 4, 8, 16, 32]
+
+
+def _run(mode: str, epochs: int) -> float:
+    engine = Engine()
+    cluster = Cluster(engine, make_testbed(nodes=2, ranks_per_node=4), 2)
+    lib = H5Library(cluster)
+    vol = (NativeVOL() if mode == "sync"
+           else AsyncVOL(init_time=INIT_TIME))
+
+    def program(ctx):
+        f = yield from lib.create(ctx, "/short.h5", vol)
+        es = EventSet(ctx.engine)
+        for epoch in range(epochs):
+            yield ctx.compute(COMPUTE)
+            d = f.create_dataset(f"/e{epoch}", shape=(ELEMS * ctx.size,),
+                                 dtype=FLOAT64)
+            yield from d.write(slab_1d(ctx.rank, ELEMS), phase=epoch, es=es)
+        yield from es.wait()
+        yield from f.close()
+        return ctx.now
+
+    return max(MPIJob(cluster, NPROCS).run(program))
+
+
+def test_ablation_short_job_init_cost(benchmark, save_figure):
+    def run_all():
+        return {
+            (mode, n): _run(mode, n)
+            for mode in ("sync", "async")
+            for n in EPOCH_COUNTS
+        }
+
+    times = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    fig = FigureData(
+        "ablation-short-jobs",
+        f"Async t_init={INIT_TIME}s amortization vs job length "
+        f"({NPROCS} ranks, {COMPUTE}s compute/epoch)",
+        columns=["epochs", "sync s", "async s", "async wins"],
+    )
+    crossover = None
+    for n in EPOCH_COUNTS:
+        sync_t, async_t = times[("sync", n)], times[("async", n)]
+        wins = async_t < sync_t
+        if wins and crossover is None:
+            crossover = n
+        fig.add_row(n, sync_t, async_t, str(wins))
+    fig.meta["crossover epochs"] = crossover
+    save_figure(fig)
+
+    # a one-epoch job cannot amortize the setup
+    assert times[("async", 1)] > times[("sync", 1)]
+    # a long job does
+    assert times[("async", EPOCH_COUNTS[-1])] < times[("sync", EPOCH_COUNTS[-1])]
+    assert crossover is not None and 1 < crossover <= EPOCH_COUNTS[-1]

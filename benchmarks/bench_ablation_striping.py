@@ -1,0 +1,72 @@
+"""Ablation — Lustre stripe count (DESIGN.md §5, Behzad et al. context).
+
+The paper fixes 72 OSTs (``stripe_large``) per NERSC best practice;
+this ablation shows why: a file's synchronous bandwidth ceiling is
+``stripe_count × ost_bandwidth``, so narrow striping throttles the
+whole job while wide striping approaches the 72-OST plateau.
+"""
+
+from repro.sim import Engine
+from repro.mpi import MPIJob
+from repro.platform import Cluster, cori_haswell
+from repro.hdf5 import FLOAT32, EventSet, H5Library, NativeVOL, slab_1d
+from repro.harness.report import FigureData
+from repro.workloads import VPICConfig
+
+Mi = 1 << 20
+NRANKS = 1024
+STRIPES = [1, 8, 72, 248]
+
+
+def _run(stripe_count: int) -> float:
+    machine = cori_haswell()
+    engine = Engine()
+    cluster = Cluster(engine, machine, NRANKS // 32)
+    lib = H5Library(cluster)
+    vol = NativeVOL()
+    cfg = VPICConfig(steps=2, compute_seconds=5.0)
+
+    def program(ctx):
+        f = yield from lib.create(ctx, f"/s{stripe_count}.h5", vol,
+                                  stripe_count=stripe_count)
+        es = EventSet(ctx.engine)
+        n_global = cfg.particles_per_rank * ctx.size
+        for step in range(cfg.steps):
+            yield ctx.compute(cfg.compute_seconds)
+            for prop in range(cfg.n_properties):
+                d = f.create_dataset(f"/Step#{step}/p{prop}",
+                                     shape=(n_global,), dtype=FLOAT32)
+                yield from d.write(slab_1d(ctx.rank, cfg.particles_per_rank),
+                                   phase=step, es=es)
+        yield from es.wait()
+        yield from f.close()
+
+    job = MPIJob(cluster, NRANKS)
+    job.run(program)
+    return vol.log.peak_bandwidth(op="write")
+
+
+def test_ablation_lustre_striping(benchmark, save_figure):
+    def run_all():
+        return {s: _run(s) for s in STRIPES}
+
+    peaks = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    fig = FigureData(
+        "ablation-striping",
+        f"VPIC-IO sync write on Cori ({NRANKS} ranks) vs Lustre stripe count",
+        columns=["stripe count", "peak GB/s", "stripe ceiling GB/s"],
+    )
+    ost_bw = cori_haswell().filesystem.ost_bandwidth
+    for s in STRIPES:
+        fig.add_row(s, peaks[s] / 1e9, s * ost_bw / 1e9)
+    save_figure(fig)
+
+    # bandwidth grows with stripe count...
+    assert peaks[8] > 4 * peaks[1]
+    assert peaks[72] > 4 * peaks[8]
+    # ...capped by each stripe ceiling
+    for s in STRIPES:
+        assert peaks[s] <= s * ost_bw * 1.02
+    # and going past stripe_large hits injection limits, not 248*ost_bw
+    assert peaks[248] < 248 * ost_bw * 0.5

@@ -1,0 +1,33 @@
+"""Fig. 3c/3d — BD-CATS-IO read bandwidth, weak scaling (Summit & Cori).
+
+Paper shape: "asynchronous I/O achieves superior performance ... for
+reading data from subsequent time steps after the first time step.
+Since the I/O time is overlapped with a simulated computation phase ...
+the calculated bandwidth values for asynchronous I/O are orders of
+magnitude higher" (§V-A.2).
+"""
+
+from repro.harness import figures
+
+
+def _assert_read_shapes(fig):
+    sync = fig.column("sync GB/s")
+    async_ = fig.column("async GB/s")
+    # prefetch-served reads dwarf blocking reads at every scale
+    for s, a in zip(sync, async_):
+        assert a > 2 * s
+    # ...and by a lot at the largest scale
+    assert async_[-1] > 5 * sync[-1]
+    assert fig.meta["r2 async"] > 0.9
+
+
+def test_fig3c_bdcats_summit(benchmark, save_figure):
+    fig = benchmark.pedantic(figures.fig3c, rounds=1, iterations=1)
+    save_figure(fig)
+    _assert_read_shapes(fig)
+
+
+def test_fig3d_bdcats_cori(benchmark, save_figure):
+    fig = benchmark.pedantic(figures.fig3d, rounds=1, iterations=1)
+    save_figure(fig)
+    _assert_read_shapes(fig)

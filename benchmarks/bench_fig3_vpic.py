@@ -1,0 +1,47 @@
+"""Fig. 3a/3b — VPIC-IO write bandwidth, weak scaling (Summit & Cori).
+
+Paper shapes asserted:
+
+- synchronous aggregate bandwidth saturates as ranks grow (sub-linear
+  past the file-system ceiling; Summit saturates around 768 ranks);
+- asynchronous aggregate bandwidth scales linearly with ranks (constant
+  per-rank staging-copy bandwidth);
+- the Eq. 4 fits reach the paper's r² bands (sync > 0.8, async > 0.9)
+  with the sync series preferring the linear-log transform.
+"""
+
+from repro.harness import figures
+
+
+def _assert_fig3_shapes(fig):
+    ranks = fig.column("ranks")
+    sync = fig.column("sync GB/s")
+    async_ = fig.column("async GB/s")
+    # async linear: last/first ratio tracks the rank ratio
+    rank_ratio = ranks[-1] / ranks[0]
+    assert async_[-1] / async_[0] > 0.9 * rank_ratio
+    # sync saturates: clearly sub-linear over the sweep
+    assert sync[-1] / sync[0] < 0.75 * rank_ratio
+    # async >> sync at the largest scale
+    assert async_[-1] > 2 * sync[-1]
+    # model quality bands from §V-C
+    assert fig.meta["r2 sync"] > 0.8
+    assert fig.meta["r2 async"] > 0.9
+    assert fig.meta["fit async"] == "linear"
+
+
+def test_fig3a_vpic_summit(benchmark, save_figure):
+    fig = benchmark.pedantic(figures.fig3a, rounds=1, iterations=1)
+    save_figure(fig)
+    _assert_fig3_shapes(fig)
+    assert fig.meta["fit sync"] == "linear-log"
+    # Summit sync stays below the 2.5 TB/s GPFS ceiling
+    assert max(fig.column("sync GB/s")) <= 2500.0
+
+
+def test_fig3b_vpic_cori(benchmark, save_figure):
+    fig = benchmark.pedantic(figures.fig3b, rounds=1, iterations=1)
+    save_figure(fig)
+    _assert_fig3_shapes(fig)
+    # Cori sync is bounded by the 72-OST stripe ceiling (~209 GB/s)
+    assert max(fig.column("sync GB/s")) <= 72 * 2.9 * 1.02

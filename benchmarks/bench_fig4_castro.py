@@ -1,0 +1,39 @@
+"""Fig. 4c/4d — Castro plotfile bandwidth, strong scaling.
+
+Paper shapes:
+
+- Fig. 4c (Summit/GPFS): "for synchronous I/O the aggregate bandwidth
+  decreases as we scale up the number of MPI Ranks" (reactive GPFS
+  allocation penalizes the shrinking per-rank requests).
+- Fig. 4d (Cori/Lustre): "the synchronous I/O performance increases
+  until it saturates at 2048 MPI Ranks".
+- Both: with async "the computational phase is sufficiently large to
+  completely hide the I/O cost ... a linear speedup on both systems".
+"""
+
+from repro.harness import figures
+
+
+def test_fig4c_castro_summit(benchmark, save_figure):
+    fig = benchmark.pedantic(figures.fig4c, rounds=1, iterations=1)
+    save_figure(fig)
+    sync = fig.column("sync GB/s")
+    async_ = fig.column("async GB/s")
+    # GPFS: sync aggregate bandwidth decreases with scale
+    assert sync[-1] < sync[0]
+    # async grows and wins at scale
+    assert async_[-1] > async_[0]
+    assert async_[-1] > sync[-1]
+
+
+def test_fig4d_castro_cori(benchmark, save_figure):
+    fig = benchmark.pedantic(figures.fig4d, rounds=1, iterations=1)
+    save_figure(fig)
+    sync = fig.column("sync GB/s")
+    async_ = fig.column("async GB/s")
+    # Lustre: sync grows from the smallest scale before flattening
+    assert max(sync) > sync[0]
+    # the tail is flat (saturated), not still climbing steeply
+    assert sync[-1] < 1.5 * sync[len(sync) // 2]
+    # async grows with ranks
+    assert async_[-1] > async_[0]

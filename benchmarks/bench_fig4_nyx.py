@@ -1,0 +1,48 @@
+"""Fig. 4a/4b — Nyx plotfile bandwidth, strong scaling.
+
+Paper shapes:
+
+- Fig. 4a (large config, Summit): "the aggregate bandwidth of
+  synchronous I/O decreases slightly as we increase the number of MPI
+  ranks ... the opposite for the asynchronous I/O mode ... scales up
+  linearly".
+- Fig. 4b (small config, Cori): "the small data size of each request
+  leads to poor synchronous aggregate write performance at all scales,
+  and the asynchronous aggregate write bandwidth does not scale up
+  linearly" — limited by the transactional overhead's per-copy setup.
+"""
+
+from repro.harness import figures
+
+
+def test_fig4a_nyx_large_summit(benchmark, save_figure):
+    fig = benchmark.pedantic(figures.fig4a, rounds=1, iterations=1)
+    save_figure(fig)
+    ranks = fig.column("ranks")
+    sync = fig.column("sync GB/s")
+    async_ = fig.column("async GB/s")
+    rank_ratio = ranks[-1] / ranks[0]
+    # sweep sits in the saturated regime: sync gains are marginal while
+    # ranks grow 4x (the paper sees flat-to-slightly-decreasing; our
+    # GPU-copy amortization gives a mild residual rise — see
+    # EXPERIMENTS.md fig4a notes)
+    assert sync[-1] <= sync[0] * 1.45
+    assert sync[-1] / sync[0] < 0.5 * rank_ratio
+    # async grows with ranks and wins at scale
+    assert async_[-1] > 1.5 * async_[0]
+    assert async_[-1] > 2 * sync[-1]
+
+
+def test_fig4b_nyx_small_cori(benchmark, save_figure):
+    fig = benchmark.pedantic(figures.fig4b, rounds=1, iterations=1)
+    save_figure(fig)
+    ranks = fig.column("ranks")
+    sync = fig.column("sync GB/s")
+    async_ = fig.column("async GB/s")
+    rank_ratio = ranks[-1] / ranks[0]
+    # sync poor at all scales: well below the 209 GB/s stripe ceiling
+    # that large-request workloads (VPIC, Fig. 3b) do reach
+    assert max(sync) < 0.8 * 209.0
+    # async grows sub-linearly (transactional overhead dominated by the
+    # per-copy setup at these small per-rank sizes)
+    assert async_[-1] / async_[0] < 0.85 * rank_ratio

@@ -1,0 +1,24 @@
+"""Fig. 5 — Cosmoflow batch-read bandwidth on Summit.
+
+Paper shape: "For synchronous I/O, the performance does not scale after
+128 nodes; whereas, the asynchronous I/O is able to maintain a higher
+bandwidth."
+"""
+
+from repro.harness import figures
+
+
+def test_fig5_cosmoflow_summit(benchmark, save_figure):
+    fig = benchmark.pedantic(figures.fig5, rounds=1, iterations=1)
+    save_figure(fig)
+    ranks = fig.column("ranks")
+    sync = fig.column("sync GB/s")
+    async_ = fig.column("async GB/s")
+    rank_ratio = ranks[-1] / ranks[0]
+    # sync read bandwidth scales sub-linearly (GPFS ceiling)
+    assert sync[-1] / sync[0] < rank_ratio
+    # async maintains higher bandwidth at every scale
+    for s, a in zip(sync, async_):
+        assert a > s
+    # and clearly higher at the top end
+    assert async_[-1] > 1.5 * sync[-1]

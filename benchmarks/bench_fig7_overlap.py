@@ -1,0 +1,35 @@
+"""Fig. 7 — Nyx on Cori: duration vs time steps per computation phase.
+
+Paper shape: "increasing the check-pointing frequency ... will increase
+the duration of the application because more I/O is performed.  With
+asynchronous I/O, we see the impact of performing more I/O is less
+pronounced than with synchronous I/O until the computation phase
+becomes too short to overlap with the I/O phase."
+"""
+
+from repro.harness import figures
+
+
+def test_fig7_overlap_nyx_cori(benchmark, save_figure):
+    fig = benchmark.pedantic(figures.fig7, rounds=1, iterations=1)
+    save_figure(fig)
+    intervals = fig.column("steps/phase")
+    sync = fig.column("sync s")
+    async_ = fig.column("async s")
+    est_sync = fig.column("est sync s")
+    est_async = fig.column("est async s")
+    assert intervals[0] == 1  # most frequent checkpointing first
+    # frequent checkpointing stretches the sync duration...
+    assert sync[0] > 1.2 * sync[-1]
+    # ...while async stays much flatter
+    async_stretch = async_[0] / async_[-1]
+    sync_stretch = sync[0] / sync[-1]
+    assert async_stretch < sync_stretch
+    # async is never slower than sync by more than noise
+    for s, a in zip(sync, async_):
+        assert a <= s * 1.05
+    # the Eq. 1/2 estimates track the measurements within 15%
+    for m, e in zip(sync, est_sync):
+        assert abs(m - e) / m < 0.15
+    for m, e in zip(async_, est_async):
+        assert abs(m - e) / m < 0.15

@@ -1,0 +1,40 @@
+"""§III-B1 micro-benchmarks: memcpy and GPU-copy bandwidth curves.
+
+Paper observations asserted:
+
+- "We found the memcpy bandwidth to be constant after 32MB";
+- "the memory copy cost is amortized for data sizes greater than 10MB,
+  and ... with pinned host memory the peak bandwidth is close to the
+  theoretical maximum" (NVLink 2.0: 50 GB/s).
+"""
+
+from repro.harness import figures
+
+Mi = 1 << 20
+
+
+def test_microbench_memcpy(benchmark, save_figure):
+    fig = benchmark.pedantic(figures.microbench_memcpy, rounds=1, iterations=1)
+    save_figure(fig)
+    sizes = fig.column("size MiB")
+    for machine_col in ("summit GB/s", "cori GB/s"):
+        bw = dict(zip(sizes, fig.column(machine_col)))
+        # constant after 32 MiB
+        assert bw[512.0] / bw[32.0] < 1.06
+        # small copies clearly penalized
+        assert bw[1.0] < 0.6 * bw[512.0]
+
+
+def test_microbench_gpu(benchmark, save_figure):
+    fig = benchmark.pedantic(figures.microbench_gpu, rounds=1, iterations=1)
+    save_figure(fig)
+    sizes = fig.column("size MiB")
+    pinned = dict(zip(sizes, fig.column("pinned GB/s")))
+    pageable = dict(zip(sizes, fig.column("pageable GB/s")))
+    # amortized above ~10 MiB
+    assert pinned[512.0] / pinned[16.0] < 1.1
+    # pinned close to the 50 GB/s NVLink theoretical max
+    assert pinned[512.0] > 45.0
+    # pageable clearly slower at every size
+    for s in sizes:
+        assert pageable[s] < pinned[s]

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Cosmoflow on simulated Summit: prefetching DataLoader (paper Fig. 5).
+
+Distributed CNN training reads a batch of 128³-voxel samples before
+every step.  A synchronous loader stalls training on every batch; the
+asynchronous loader (async VOL + sequential prefetcher) streams the
+next samples into node memory while the GPUs train, so steady-state
+batches are served from the prefetch cache.
+
+Run:  python examples/cosmoflow_training.py       (~30 seconds)
+"""
+
+from repro.sim import Engine
+from repro.mpi import MPIJob
+from repro.platform import Cluster, summit
+from repro.hdf5 import AsyncVOL, H5Library, NativeVOL
+from repro.workloads import CosmoflowConfig, cosmoflow_program
+
+NRANKS = 96  # 16 Summit nodes x 6 ranks
+
+CONFIG = CosmoflowConfig(
+    batch_size=8,
+    batches_per_rank=4,
+    epochs=2,
+    seconds_per_batch=1.0,
+)
+
+
+def run(mode: str):
+    engine = Engine()
+    machine = summit()
+    cluster = Cluster(engine, machine, NRANKS // 6)
+    lib = H5Library(cluster)
+    CONFIG.prepopulate(lib, NRANKS)
+    vol = NativeVOL() if mode == "sync" else AsyncVOL()
+    job = MPIJob(cluster, NRANKS)
+    durations = job.run(cosmoflow_program(lib, vol, CONFIG))
+    return vol.log, max(durations)
+
+
+def main() -> None:
+    sample_mib = CONFIG.sample_bytes() / 2**20
+    print(f"Cosmoflow: {NRANKS} ranks, batch {CONFIG.batch_size} x "
+          f"{sample_mib:.1f} MiB samples, {CONFIG.epochs} epochs, "
+          f"{CONFIG.seconds_per_batch}s training step\n")
+    for mode in ("sync", "async"):
+        log, duration = run(mode)
+        phases = log.phases(op="read")
+        first = log.phase_bandwidth(phases[0], op="read") / 1e9
+        steady = [log.phase_bandwidth(p, op="read") / 1e9 for p in phases[1:]]
+        hits = sum(1 for r in log.select(op="read") if r.cache_hit)
+        print(f"--- {mode} loader ---")
+        print(f"  epoch time                  {duration / CONFIG.epochs:8.2f} s")
+        print(f"  first-batch read bandwidth  {first:8.1f} GB/s")
+        print(f"  steady-state batch reads    {sum(steady) / len(steady):8.1f} GB/s")
+        print(f"  prefetch cache hits         {hits:8d} / {len(log.select(op='read'))}")
+    print("\nWith prefetching, the first batch is still a blocking read "
+          "(nothing to\nprefetch from), after which the loader stays ahead "
+          "of training — matching\nFig. 5's gap between the sync and async "
+          "series.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""EQSIM checkpointing with node-local SSD staging (paper Fig. 6 + §II-C).
+
+Runs the SW4 earthquake-simulation checkpoint workload on simulated
+Summit in three configurations:
+
+1. synchronous HDF5 (baseline),
+2. async VOL staging to node DRAM (the evaluated connector),
+3. async VOL staging to the node-local 1.6 TB NVMe — the paper's
+   "caching data ... to a node-local SSD" option: slower transactional
+   copy, zero DRAM footprint.
+
+Run:  python examples/eqsim_checkpointing.py     (~30 seconds)
+"""
+
+from repro.sim import Engine
+from repro.mpi import MPIJob
+from repro.platform import Cluster, summit
+from repro.hdf5 import AsyncVOL, H5Library, NativeVOL
+from repro.workloads import SW4Config, sw4_program
+
+NRANKS = 192  # 32 Summit nodes
+
+CONFIG = SW4Config(
+    checkpoint_int=100,
+    n_checkpoints=3,
+    seconds_per_step=0.25,  # 25 s computation between checkpoints
+)
+
+
+def run(label, vol_factory):
+    engine = Engine()
+    cluster = Cluster(engine, summit(), NRANKS // 6)
+    lib = H5Library(cluster)
+    vol = vol_factory()
+    job = MPIJob(cluster, NRANKS)
+    durations = job.run(sw4_program(lib, vol, CONFIG))
+    log = vol.log
+    blocked = max(log.total_blocking_time(r) for r in range(NRANKS))
+    print(f"--- {label} ---")
+    print(f"  app time            {max(durations):8.2f} s")
+    print(f"  worst rank blocked  {blocked:8.3f} s in I/O calls")
+    print(f"  peak aggregate bw   {log.peak_bandwidth(op='write') / 1e9:8.1f} GB/s")
+
+
+def main() -> None:
+    ckpt_gb = CONFIG.checkpoint_bytes() / 1e9
+    print(f"EQSIM/SW4 on simulated Summit: {NRANKS} ranks, "
+          f"{ckpt_gb:.1f} GB per checkpoint, "
+          f"{CONFIG.compute_phase_seconds():.0f} s compute between "
+          f"checkpoints\n")
+    run("sync (native VOL)", NativeVOL)
+    run("async, DRAM staging", lambda: AsyncVOL())
+    run("async, node-SSD staging", lambda: AsyncVOL(staging="ssd"))
+    print("\nBoth async variants hide the parallel-file-system write "
+          "behind the next\ncomputation phase; SSD staging trades a "
+          "slower blocking copy (NVMe write\nrate) for zero DRAM "
+          "footprint — the choice the paper's §II-C describes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: synchronous vs asynchronous parallel I/O in 60 lines.
+
+Builds a small simulated cluster, runs the same iterative
+checkpoint-writing program through the native (synchronous) and async
+VOL connectors, and prints the paper's headline effect: the async
+connector hides the parallel-file-system transfer behind computation,
+so the *observed* I/O cost collapses to the local staging copy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.sim import Engine
+from repro.mpi import MPIJob
+from repro.platform import Cluster, testbed
+from repro.hdf5 import FLOAT64, AsyncVOL, EventSet, H5Library, NativeVOL, slab_1d
+
+MiB = 1 << 20
+N_EPOCHS = 4
+COMPUTE_SECONDS = 5.0
+ELEMS_PER_RANK = 8 * MiB  # 64 MiB of float64 per rank per epoch
+
+
+def checkpointing_app(lib, vol, path):
+    """One rank of an iterative app: compute, then dump a checkpoint."""
+
+    def program(ctx):
+        f = yield from lib.create(ctx, path, vol)
+        es = EventSet(ctx.engine)
+        for epoch in range(N_EPOCHS):
+            yield ctx.compute(COMPUTE_SECONDS)
+            dset = f.create_dataset(
+                f"/ckpt{epoch}/state",
+                shape=(ELEMS_PER_RANK * ctx.size,),
+                dtype=FLOAT64,
+            )
+            yield from dset.write(slab_1d(ctx.rank, ELEMS_PER_RANK),
+                                  phase=epoch, es=es)
+        yield from es.wait()
+        yield from f.close()
+        return ctx.now
+
+    return program
+
+
+def run(mode: str) -> None:
+    engine = Engine()
+    machine = testbed(nodes=4, ranks_per_node=4)
+    cluster = Cluster(engine, machine, nodes=4)
+    lib = H5Library(cluster)
+    vol = NativeVOL() if mode == "sync" else AsyncVOL()
+    job = MPIJob(cluster, nprocs=16)
+    durations = job.run(checkpointing_app(lib, vol, f"/app_{mode}.h5"))
+
+    log = vol.log
+    print(f"\n--- {mode} mode ---")
+    print(f"application ran for       {max(durations):8.2f} simulated seconds")
+    print(f"rank 0 blocked in I/O for {log.total_blocking_time(0):8.2f} seconds")
+    for phase in log.phases(op='write'):
+        bw = log.phase_bandwidth(phase, op="write") / 1e9
+        print(f"  epoch {phase}: aggregate write bandwidth {bw:8.2f} GB/s")
+
+
+if __name__ == "__main__":
+    print(f"{N_EPOCHS} epochs x ({COMPUTE_SECONDS}s compute + "
+          f"{ELEMS_PER_RANK * 8 / MiB:.0f} MiB/rank checkpoint), 16 ranks")
+    run("sync")
+    run("async")
+    print("\nAsync epochs overlap the file-system write with the next "
+          "computation phase;\nonly the staging memcpy blocks the "
+          "application, hence the higher bandwidth.")

@@ -1,0 +1,28 @@
+"""repro — Evaluating Asynchronous Parallel I/O on HPC Systems (IPDPS 2023).
+
+A self-contained reproduction of Ravi et al.'s evaluation of HDF5
+synchronous vs asynchronous parallel I/O on Summit and Cori-Haswell,
+built on a calibrated discrete-event simulation.
+
+Package map (bottom-up):
+
+- :mod:`repro.sim` — event engine, processes, max-min fair network.
+- :mod:`repro.platform` — machine specs (Summit/Cori), GPFS/Lustre
+  models, memory-copy curves, contention.
+- :mod:`repro.mpi` — simulated MPI runtime (ranks, collectives).
+- :mod:`repro.hdf5` — HDF5-style library with native (sync) and async
+  VOL connectors.
+- :mod:`repro.model` — the paper's performance model (Eq. 1-5, Fig. 2).
+- :mod:`repro.workloads` — VPIC-IO, BD-CATS-IO, Nyx, Castro,
+  SW4/EQSIM, Cosmoflow.
+- :mod:`repro.harness` / :mod:`repro.analysis` — experiment sweeps,
+  model fitting, figure regeneration (``python -m repro figures``).
+- :mod:`repro.trace` — per-operation I/O records and derived metrics.
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

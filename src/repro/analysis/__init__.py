@@ -1,0 +1,27 @@
+"""Analysis of sweep results: model fitting and variability statistics.
+
+Produces the paper's "estimated performance ... shown as a dotted line"
+series (regression over the measured sweep, §V) and the run-to-run
+variability summaries of Fig. 8 / §V-C.
+"""
+
+from repro.analysis.asciiplot import render_figure, render_series
+from repro.analysis.crossover import (
+    ScaleCrossover,
+    compute_crossover_scale,
+    min_compute_to_benefit,
+)
+from repro.analysis.fitting import FittedSeries, fit_sweep_points
+from repro.analysis.variability import VariabilityStats, variability_stats
+
+__all__ = [
+    "FittedSeries",
+    "ScaleCrossover",
+    "compute_crossover_scale",
+    "min_compute_to_benefit",
+    "VariabilityStats",
+    "fit_sweep_points",
+    "render_figure",
+    "render_series",
+    "variability_stats",
+]

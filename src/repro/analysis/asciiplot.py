@@ -1,0 +1,144 @@
+"""Terminal rendering of figure series (log-scale, like the paper's plots).
+
+The paper's evaluation figures are log-scale bandwidth-vs-ranks plots;
+:func:`render_series` draws the same data as an ASCII chart so sweep
+results can be eyeballed without a plotting stack:
+
+::
+
+    GB/s (log)
+    1.2e+04 |                                          d
+    3.4e+03 |                          d
+    1.0e+03 |              d        s       s        s
+    ...
+            +----------------------------------------------
+              96        192       384       768      1536
+
+Each series gets a one-character marker; points that would overlap
+show the later series' marker.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - avoid harness<->analysis cycle
+    from repro.harness.report import FigureData
+
+__all__ = ["render_figure", "render_series"]
+
+
+def render_series(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: Optional[int] = None,
+    logy: bool = True,
+    ylabel: str = "",
+) -> str:
+    """Render named series over shared x positions as an ASCII chart.
+
+    ``series`` maps a label to y-values (same length as ``x``); the
+    first character of each label is its plot marker.  Non-positive
+    values are skipped in log mode.
+    """
+    if height < 2:
+        raise ValueError(f"height must be >= 2, got {height}")
+    if not series:
+        raise ValueError("no series to plot")
+    n = len(x)
+    for label, ys in series.items():
+        if len(ys) != n:
+            raise ValueError(
+                f"series {label!r} has {len(ys)} points for {n} x values"
+            )
+
+    values = [
+        y for ys in series.values() for y in ys
+        if not logy or (y is not None and y > 0)
+    ]
+    if not values:
+        raise ValueError("no plottable values")
+    lo, hi = min(values), max(values)
+    if logy:
+        lo_t, hi_t = math.log10(lo), math.log10(hi)
+    else:
+        lo_t, hi_t = lo, hi
+    if hi_t == lo_t:
+        hi_t = lo_t + 1.0
+
+    width = width or max(6 * n, 24)
+    col_of = lambda i: int((i + 0.5) * width / n)
+
+    def row_of(y: float) -> Optional[int]:
+        if logy and y <= 0:
+            return None
+        t = math.log10(y) if logy else y
+        frac = (t - lo_t) / (hi_t - lo_t)
+        return min(height - 1, max(0, round(frac * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for label, ys in series.items():
+        marker = label[0]
+        for i, y in enumerate(ys):
+            r = row_of(y)
+            if r is not None:
+                grid[height - 1 - r][col_of(i)] = marker
+
+    # y-axis tick labels: top, middle, bottom.
+    def tick(frac: float) -> str:
+        t = lo_t + frac * (hi_t - lo_t)
+        v = 10**t if logy else t
+        return f"{v:.3g}"
+
+    labels = {0: tick(1.0), height // 2: tick(0.5), height - 1: tick(0.0)}
+    label_w = max(len(s) for s in labels.values())
+    lines = []
+    if ylabel:
+        lines.append(f"{ylabel}{' (log)' if logy else ''}")
+    for r, row in enumerate(grid):
+        prefix = labels.get(r, "").rjust(label_w)
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    xaxis = [" "] * width
+    for i, xv in enumerate(x):
+        text = f"{xv:g}"
+        start = min(max(0, col_of(i) - len(text) // 2), width - len(text))
+        for j, ch in enumerate(text):
+            xaxis[start + j] = ch
+    lines.append(" " * label_w + "  " + "".join(xaxis))
+    legend = "   ".join(f"{label[0]}={label}" for label in series)
+    lines.append(" " * label_w + "  " + legend)
+    return "\n".join(lines)
+
+
+def render_figure(
+    fig: "FigureData",
+    x_column: Optional[str] = None,
+    y_columns: Optional[Sequence[str]] = None,
+    height: int = 12,
+    logy: bool = True,
+) -> str:
+    """Render a :class:`FigureData` as title + ASCII chart.
+
+    Defaults: the first column is x; every numeric "measured" column
+    (those not starting with ``est``) is a series.
+    """
+    x_col = x_column or fig.columns[0]
+    if y_columns is None:
+        y_columns = [
+            c for c in fig.columns[1:]
+            if not c.startswith("est")
+            and all(isinstance(v, (int, float)) for v in fig.column(c))
+        ]
+    if not y_columns:
+        raise ValueError("no numeric series columns found")
+    chart = render_series(
+        fig.column(x_col),
+        {c: fig.column(c) for c in y_columns},
+        height=height,
+        logy=logy,
+        ylabel="",
+    )
+    return f"== {fig.name}: {fig.title} ==\n{chart}"

@@ -1,0 +1,79 @@
+"""Crossover analysis: where does asynchronous I/O start to pay off?
+
+The paper's takeaway for practitioners is a decision: given a machine
+and workload, at what scale (or compute-phase length) does asynchronous
+I/O beat synchronous I/O?  This module answers both questions from
+fitted models, giving the "when should I flip the switch" numbers the
+adaptive interface acts on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.model.epoch import EpochCosts, async_epoch_time, sync_epoch_time
+
+__all__ = ["ScaleCrossover", "compute_crossover_scale", "min_compute_to_benefit"]
+
+
+@dataclass(frozen=True)
+class ScaleCrossover:
+    """Result of a scale-crossover search."""
+
+    nranks: Optional[int]  # smallest swept scale where async wins (None: never)
+    speedups: dict[int, float]  # nranks -> predicted sync/async epoch ratio
+
+
+def compute_crossover_scale(
+    scales,
+    phase_bytes_of,
+    sync_rate_of,
+    async_rate_of,
+    t_comp: float,
+    threshold: float = 1.0,
+) -> ScaleCrossover:
+    """Smallest scale at which async is predicted ``threshold×`` faster.
+
+    Parameters are callables over the rank count — ``phase_bytes_of(n)``
+    (aggregate bytes per I/O phase), ``sync_rate_of(n)`` /
+    ``async_rate_of(n)`` (fitted aggregate rates; the async rate is the
+    transactional-overhead rate, per the paper's measurement
+    convention).
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    speedups: dict[int, float] = {}
+    crossover: Optional[int] = None
+    for nranks in sorted(scales):
+        nbytes = phase_bytes_of(nranks)
+        costs = EpochCosts(
+            t_comp=t_comp,
+            t_io=nbytes / sync_rate_of(nranks),
+            t_transact=nbytes / async_rate_of(nranks),
+        )
+        ratio = sync_epoch_time(costs) / async_epoch_time(costs)
+        speedups[nranks] = ratio
+        if crossover is None and ratio > threshold:
+            crossover = nranks
+    return ScaleCrossover(nranks=crossover, speedups=speedups)
+
+
+def min_compute_to_benefit(t_io: float, t_transact: float) -> float:
+    """Shortest computation phase for which async beats sync (Eq. 2).
+
+    Solving ``max(c, t_io - c) + t_tr < t_io + c``:
+
+    - if ``c >= t_io`` (full overlap): async wins iff ``t_tr < t_io``;
+    - else (partial overlap): async wins iff ``c > t_tr / 2``.
+
+    Returns ``inf`` when no computation length helps
+    (``t_transact >= t_io`` *and* the overhead can't amortize).
+    """
+    if t_io < 0 or t_transact < 0:
+        raise ValueError("times must be non-negative")
+    if t_transact >= t_io:
+        # even full overlap only replaces t_io with t_transact
+        return math.inf
+    return t_transact / 2.0

@@ -1,0 +1,53 @@
+"""Run-to-run variability statistics (Fig. 8 / §V-C).
+
+"A benefit of asynchronous I/O is to hide the system-level variability,
+leading to consistent aggregate I/O bandwidth independent of the full
+system-level contention."  We quantify this with the coefficient of
+variation of per-day peak bandwidths: async CV ≪ sync CV.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["VariabilityStats", "variability_stats"]
+
+
+@dataclass(frozen=True)
+class VariabilityStats:
+    """Spread of one mode's per-run bandwidth observations."""
+
+    n_runs: int
+    mean: float
+    std: float
+    min: float
+    max: float
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std/mean); 0 for perfectly stable."""
+        if self.mean == 0.0:
+            return 0.0
+        return self.std / self.mean
+
+    @property
+    def spread_ratio(self) -> float:
+        """max/min — the visual band width on a Fig. 8-style plot."""
+        if self.min == 0.0:
+            return math.inf
+        return self.max / self.min
+
+
+def variability_stats(observations: Sequence[float]) -> VariabilityStats:
+    """Summarize per-run bandwidth observations."""
+    obs = [float(x) for x in observations]
+    if not obs:
+        raise ValueError("no observations")
+    n = len(obs)
+    mean = sum(obs) / n
+    var = sum((x - mean) ** 2 for x in obs) / n
+    return VariabilityStats(
+        n_runs=n, mean=mean, std=math.sqrt(var), min=min(obs), max=max(obs)
+    )

@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``figures [IDS...]``
+    Regenerate paper figures (all by default) and print their tables.
+    ``--profile quick|paper`` selects the scale profile; ``--out DIR``
+    also writes each table to ``DIR/<id>.txt``.
+
+``list``
+    List available figure ids with one-line descriptions.
+
+``microbench``
+    Run the §III-B1 memcpy / GPU-copy micro-benchmarks.
+
+``run``
+    Run a single workload experiment and print its metrics, e.g.::
+
+        python -m repro run --workload vpic --machine summit \\
+            --mode async --ranks 768
+
+``profile``
+    Run a workload and print a Darshan-style I/O profile (per-rank
+    blocked fractions, request-size histogram, per-phase table).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+from repro.platform import cori_haswell, summit, testbed
+from repro.harness import figures as figures_mod
+from repro.harness.experiment import run_experiment
+
+__all__ = ["main"]
+
+_FIGURE_IDS = [
+    "fig3a", "fig3b", "fig3c", "fig3d",
+    "fig4a", "fig4b", "fig4c", "fig4d",
+    "fig5", "fig6", "fig7", "fig8",
+    "mb-memcpy", "mb-gpu",
+]
+
+_FIGURE_MAKERS = {
+    "fig3a": figures_mod.fig3a,
+    "fig3b": figures_mod.fig3b,
+    "fig3c": figures_mod.fig3c,
+    "fig3d": figures_mod.fig3d,
+    "fig4a": figures_mod.fig4a,
+    "fig4b": figures_mod.fig4b,
+    "fig4c": figures_mod.fig4c,
+    "fig4d": figures_mod.fig4d,
+    "fig5": figures_mod.fig5,
+    "fig6": figures_mod.fig6,
+    "fig7": figures_mod.fig7,
+    "fig8": figures_mod.fig8,
+    "mb-memcpy": figures_mod.microbench_memcpy,
+    "mb-gpu": figures_mod.microbench_gpu,
+}
+
+_MACHINES = {
+    "summit": summit,
+    "cori": cori_haswell,
+    "cori-haswell": cori_haswell,
+    "testbed": testbed,
+}
+
+
+def _workload_entry(name: str):
+    """(program_factory, config_factory, prepopulate, op) per workload."""
+    from repro.workloads import (
+        BDCATSConfig, CastroConfig, CosmoflowConfig, NyxConfig, SW4Config,
+        VPICConfig, bdcats_program, castro_program, cosmoflow_program,
+        nyx_program, prepopulate_vpic_file, sw4_program, vpic_program,
+    )
+
+    table = {
+        "vpic": (vpic_program, lambda: VPICConfig(steps=3), None, "write"),
+        "bdcats": (
+            bdcats_program,
+            lambda: BDCATSConfig(steps=3),
+            lambda cfg: (lambda lib, n: prepopulate_vpic_file(lib, cfg, n)),
+            "read",
+        ),
+        "nyx-small": (nyx_program, lambda: NyxConfig.small(n_plotfiles=3),
+                      None, "write"),
+        "nyx-large": (nyx_program, lambda: NyxConfig.large(n_plotfiles=3),
+                      None, "write"),
+        "castro": (castro_program, lambda: CastroConfig(n_plotfiles=3),
+                   None, "write"),
+        "sw4": (sw4_program, lambda: SW4Config(n_checkpoints=3), None, "write"),
+        "cosmoflow": (
+            cosmoflow_program,
+            lambda: CosmoflowConfig(epochs=2, batches_per_rank=4),
+            lambda cfg: (lambda lib, n: cfg.prepopulate(lib, n)),
+            "read",
+        ),
+    }
+    if name not in table:
+        raise SystemExit(
+            f"unknown workload {name!r}; choose from {sorted(table)}"
+        )
+    return table[name]
+
+
+def _cmd_list(_args) -> int:
+    for fid in _FIGURE_IDS:
+        doc = (_FIGURE_MAKERS[fid].__doc__ or "").strip().splitlines()[0]
+        print(f"{fid:10s}  {doc}")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    ids = args.ids or _FIGURE_IDS
+    unknown = [i for i in ids if i not in _FIGURE_MAKERS]
+    if unknown:
+        raise SystemExit(f"unknown figure ids: {unknown}; try 'list'")
+    out_dir = pathlib.Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for fid in ids:
+        fig = _FIGURE_MAKERS[fid](args.profile)
+        text = fig.to_text()
+        if getattr(args, "plot", False):
+            from repro.analysis import render_figure
+            text = text + "\n\n" + render_figure(fig)
+        print(text)
+        print()
+        if out_dir:
+            (out_dir / f"{fid}.txt").write_text(text + "\n")
+    return 0
+
+
+def _cmd_microbench(args) -> int:
+    return _cmd_figures(argparse.Namespace(
+        ids=["mb-memcpy", "mb-gpu"], profile=args.profile, out=args.out,
+        plot=getattr(args, "plot", False),
+    ))
+
+
+def _run_workload_raw(args):
+    """Shared runner for ``run`` and ``profile``: returns (vol, app_time, op)."""
+    import math
+    from repro.sim import Engine
+    from repro.mpi import MPIJob
+    from repro.platform import Cluster
+    from repro.hdf5 import H5Library
+
+    machine = _MACHINES[args.machine]()
+    program_factory, config_factory, prepopulate_factory, op = (
+        _workload_entry(args.workload)
+    )
+    config = config_factory()
+    engine = Engine()
+    rpn = machine.default_ranks_per_node
+    cluster = Cluster(engine, machine, math.ceil(args.ranks / rpn))
+    lib = H5Library(cluster)
+    from repro.harness.experiment import build_vol
+    vol = build_vol(args.mode)
+    if prepopulate_factory is not None:
+        prepopulate_factory(config)(lib, args.ranks)
+    job = MPIJob(cluster, args.ranks)
+    results = job.run(program_factory(lib, vol, config))
+    return vol, max(results), op
+
+
+def _cmd_profile(args) -> int:
+    from repro.trace import profile_log
+
+    vol, app_time, op = _run_workload_raw(args)
+    print(f"{args.workload} ({args.mode}) on {args.machine}, "
+          f"{args.ranks} ranks")
+    print(profile_log(vol.log, app_time).to_text())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    machine = _MACHINES[args.machine]()
+    program_factory, config_factory, prepopulate_factory, op = (
+        _workload_entry(args.workload)
+    )
+    config = config_factory()
+    prepopulate = (prepopulate_factory(config)
+                   if prepopulate_factory is not None else None)
+    result = run_experiment(
+        machine, args.workload, program_factory, config, mode=args.mode,
+        nranks=args.ranks, prepopulate=prepopulate, op=op,
+    )
+    print(f"workload        {result.workload} ({op})")
+    print(f"machine         {result.machine}")
+    print(f"mode            {result.mode}")
+    print(f"ranks / nodes   {result.nranks} / {result.nnodes}")
+    print(f"I/O phases      {result.n_phases}")
+    print(f"total bytes     {result.total_bytes / 1e9:.2f} GB")
+    print(f"peak bandwidth  {result.peak_gbs:.2f} GB/s")
+    print(f"mean bandwidth  {result.mean_bandwidth / 1e9:.2f} GB/s")
+    print(f"app time        {result.app_time:.2f} s (simulated)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Evaluating Asynchronous Parallel I/O "
+                    "on HPC Systems' (IPDPS 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list available figures")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_fig = sub.add_parser("figures", help="regenerate paper figures")
+    p_fig.add_argument("ids", nargs="*", help="figure ids (default: all)")
+    p_fig.add_argument("--profile", choices=["quick", "paper"], default=None)
+    p_fig.add_argument("--out", help="directory to write tables into")
+    p_fig.add_argument("--plot", action="store_true",
+                       help="also render an ASCII chart per figure")
+    p_fig.set_defaults(func=_cmd_figures)
+
+    p_mb = sub.add_parser("microbench", help="run §III-B1 micro-benchmarks")
+    p_mb.add_argument("--profile", choices=["quick", "paper"], default=None)
+    p_mb.add_argument("--out", default=None)
+    p_mb.set_defaults(func=_cmd_microbench)
+
+    p_run = sub.add_parser("run", help="run one workload experiment")
+    p_run.add_argument("--workload", required=True,
+                       help="vpic | bdcats | nyx-small | nyx-large | castro "
+                            "| sw4 | cosmoflow")
+    p_run.add_argument("--machine", choices=sorted(_MACHINES), default="summit")
+    p_run.add_argument("--mode", choices=["sync", "async"], default="sync")
+    p_run.add_argument("--ranks", type=int, default=96)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_prof = sub.add_parser("profile",
+                            help="run a workload and print an I/O profile")
+    p_prof.add_argument("--workload", required=True)
+    p_prof.add_argument("--machine", choices=sorted(_MACHINES),
+                        default="summit")
+    p_prof.add_argument("--mode", choices=["sync", "async"], default="sync")
+    p_prof.add_argument("--ranks", type=int, default=96)
+    p_prof.set_defaults(func=_cmd_profile)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Experiment harness: runs, sweeps, figures, reports.
+
+This package regenerates every figure of the paper's evaluation
+(§V).  Each ``fig*`` function in :mod:`repro.harness.figures` runs the
+corresponding workload sweep on the simulated machine, fits the paper's
+regression model to the measurements (the dotted "estimated" lines),
+and returns a :class:`~repro.harness.report.FigureData` that prints the
+same series the paper plots.
+
+Scale profiles: the full paper configurations reach 12,288 ranks /
+2,048 nodes; set ``REPRO_PROFILE=paper`` to run them.  The default
+``quick`` profile uses truncated rank sweeps and fewer repetitions so
+the entire benchmark suite completes in minutes while preserving every
+qualitative shape (saturation points scale accordingly).
+"""
+
+from repro.harness.experiment import ExperimentResult, build_vol, run_experiment
+from repro.harness.sweep import SweepPoint, best_by_config, scale_sweep
+from repro.harness.report import FigureData
+from repro.harness.store import load_results, save_results
+from repro.harness import figures
+
+__all__ = [
+    "ExperimentResult",
+    "FigureData",
+    "SweepPoint",
+    "best_by_config",
+    "build_vol",
+    "figures",
+    "load_results",
+    "run_experiment",
+    "save_results",
+    "scale_sweep",
+]

@@ -1,0 +1,102 @@
+"""Single-experiment runner: one workload, one machine, one mode, one day."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim import Engine
+from repro.mpi import MPIJob
+from repro.platform import Cluster, ContentionModel
+from repro.platform.spec import MachineSpec
+from repro.hdf5 import AsyncVOL, H5Library, NativeVOL
+from repro.hdf5.vol import VOLConnector
+from repro.trace import IOLog
+from repro.workloads import summarize_run
+
+__all__ = ["ExperimentResult", "build_vol", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one run, carrying the paper's metrics."""
+
+    machine: str
+    workload: str
+    mode: str
+    nranks: int
+    nnodes: int
+    day: int
+    availability: float
+    n_phases: int
+    total_bytes: float
+    peak_bandwidth: float
+    mean_bandwidth: float
+    app_time: float
+
+    @property
+    def peak_gbs(self) -> float:
+        """Peak aggregate bandwidth in GB/s (the paper's plot unit)."""
+        return self.peak_bandwidth / 1e9
+
+
+def build_vol(mode: str, log: Optional[IOLog] = None, **kwargs) -> VOLConnector:
+    """Instantiate the connector for ``mode`` ('sync' | 'async')."""
+    if mode == "sync":
+        return NativeVOL(log=log)
+    if mode == "async":
+        kwargs.setdefault("init_time", 0.05)
+        return AsyncVOL(log=log, **kwargs)
+    raise ValueError(f"mode must be 'sync' or 'async', got {mode!r}")
+
+
+def run_experiment(
+    machine: MachineSpec,
+    workload_name: str,
+    program_factory: Callable,
+    config,
+    mode: str,
+    nranks: int,
+    ranks_per_node: Optional[int] = None,
+    day: int = 0,
+    contention: Optional[ContentionModel] = None,
+    prepopulate: Optional[Callable] = None,
+    op: str = "write",
+    vol_kwargs: Optional[dict] = None,
+) -> ExperimentResult:
+    """Run ``program_factory(lib, vol, config)`` once and summarize.
+
+    ``prepopulate(lib, nranks)``, when given, creates input files before
+    the job starts (read workloads).  ``day`` selects the contention
+    sample (paper: runs repeated "across multiple days").
+    """
+    engine = Engine()
+    rpn = ranks_per_node or machine.default_ranks_per_node
+    nnodes = math.ceil(nranks / rpn)
+    cluster = Cluster(engine, machine, nnodes)
+    availability = 1.0
+    if contention is not None:
+        availability = contention.apply(cluster.pfs, day)
+    lib = H5Library(cluster)
+    vol = build_vol(mode, **(vol_kwargs or {}))
+    if prepopulate is not None:
+        prepopulate(lib, nranks)
+    job = MPIJob(cluster, nranks, ranks_per_node=rpn)
+    results = job.run(program_factory(lib, vol, config))
+    app_time = max(results)
+    stats = summarize_run(vol.log, app_time, op=op, mode=mode)
+    return ExperimentResult(
+        machine=machine.name,
+        workload=workload_name,
+        mode=mode,
+        nranks=nranks,
+        nnodes=nnodes,
+        day=day,
+        availability=availability,
+        n_phases=stats.n_phases,
+        total_bytes=stats.total_bytes,
+        peak_bandwidth=stats.peak_bandwidth,
+        mean_bandwidth=stats.mean_bandwidth,
+        app_time=app_time,
+    )

@@ -1,0 +1,437 @@
+"""Regeneration of every figure in the paper's evaluation (§V).
+
+Each ``fig*`` function runs the corresponding sweep on the simulated
+machine, fits the Eq. 4 model for the dotted "estimated" series, and
+returns a :class:`~repro.harness.report.FigureData`.
+
+Two scale profiles exist (``REPRO_PROFILE`` or the ``profile=``
+argument):
+
+- ``quick`` (default): truncated rank sweeps / fewer repetitions; every
+  qualitative shape is preserved and the whole set runs in minutes.
+- ``paper``: the published configurations (up to 12,288 ranks on
+  Summit, 8,192 on Cori-Haswell, 5 repetitions).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, Sequence
+
+from repro.platform import ContentionModel, cori_haswell, summit
+from repro.platform.spec import MachineSpec
+from repro.analysis import fit_sweep_points, variability_stats
+from repro.harness.experiment import run_experiment
+from repro.harness.report import FigureData
+from repro.harness.sweep import best_by_config, scale_sweep
+from repro.model import EpochCosts, app_time
+from repro.model.microbench import gpu_transfer_microbench, memcpy_microbench
+from repro.workloads import (
+    BDCATSConfig,
+    CastroConfig,
+    CosmoflowConfig,
+    NyxConfig,
+    SW4Config,
+    VPICConfig,
+    bdcats_program,
+    castro_program,
+    cosmoflow_program,
+    nyx_program,
+    prepopulate_vpic_file,
+    sw4_program,
+    vpic_program,
+)
+
+__all__ = [
+    "all_figures",
+    "fig3a", "fig3b", "fig3c", "fig3d",
+    "fig4a", "fig4b", "fig4c", "fig4d",
+    "fig5", "fig6", "fig7", "fig8",
+    "microbench_memcpy", "microbench_gpu",
+    "resolve_profile",
+]
+
+GB = 1e9
+Mi = 1 << 20
+
+#: Rank sweeps per (figure-machine, profile).
+_SCALES = {
+    ("summit", "quick"): [96, 192, 384, 768, 1536],
+    ("summit", "paper"): [96, 192, 384, 768, 1536, 3072, 6144, 12288],
+    ("cori", "quick"): [128, 256, 512, 1024, 2048],
+    ("cori", "paper"): [128, 256, 512, 1024, 2048, 4096, 8192],
+    ("summit-app", "quick"): [96, 192, 384, 768],
+    ("summit-app", "paper"): [96, 192, 384, 768, 1536, 3072],
+    ("cori-app", "quick"): [128, 256, 512, 1024],
+    ("cori-app", "paper"): [128, 256, 512, 1024, 2048, 4096],
+    # Strong-scaling sweeps whose paper plots start in the saturated
+    # regime (Nyx large / EQSIM: huge fixed datasets).
+    ("summit-sat", "quick"): [768, 1536, 3072],
+    ("summit-sat", "paper"): [768, 1536, 3072, 6144, 12288],
+}
+_REPS = {"quick": 2, "paper": 5}
+_STEPS = {"quick": 3, "paper": 5}
+
+
+def resolve_profile(profile: Optional[str] = None) -> str:
+    """Profile from argument or ``REPRO_PROFILE`` (default ``quick``)."""
+    profile = profile or os.environ.get("REPRO_PROFILE", "quick")
+    if profile not in ("quick", "paper"):
+        raise ValueError(f"profile must be 'quick' or 'paper', got {profile!r}")
+    return profile
+
+
+def _contention(seed: int) -> ContentionModel:
+    # Mild baseline contention so repetitions across "days" differ.
+    return ContentionModel(seed=seed, median_load=0.15, sigma=0.5)
+
+
+def _bandwidth_figure(
+    name: str,
+    title: str,
+    machine: MachineSpec,
+    workload_name: str,
+    program_factory: Callable,
+    config_factory: Callable[[int], object],
+    scales: Sequence[int],
+    reps: int,
+    op: str = "write",
+    prepopulate_factory: Optional[Callable] = None,
+    seed: int = 0,
+) -> FigureData:
+    """Shared sweep → fit → table pipeline for Figs. 3-6."""
+    results = scale_sweep(
+        machine, workload_name, program_factory, config_factory,
+        scales=scales, modes=("sync", "async"), reps=reps,
+        contention=_contention(seed), prepopulate_factory=prepopulate_factory,
+        op=op,
+    )
+    points = best_by_config(results)
+    fits = {mode: fit_sweep_points(points, mode) for mode in ("sync", "async")}
+    fig = FigureData(
+        name=name,
+        title=title,
+        columns=["ranks", "nodes", "sync GB/s", "est sync GB/s",
+                 "async GB/s", "est async GB/s"],
+    )
+    sync_points = {p.nranks: p for p in points if p.mode == "sync"}
+    async_points = {p.nranks: p for p in points if p.mode == "async"}
+    for nranks in scales:
+        fig.add_row(
+            nranks,
+            sync_points[nranks].nnodes,
+            sync_points[nranks].peak_gbs,
+            fits["sync"].estimate_gbs(nranks),
+            async_points[nranks].peak_gbs,
+            fits["async"].estimate_gbs(nranks),
+        )
+    fig.meta["r2 sync"] = fits["sync"].r2
+    fig.meta["r2 async"] = fits["async"].r2
+    fig.meta["fit sync"] = fits["sync"].transform
+    fig.meta["fit async"] = fits["async"].transform
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — I/O kernels, weak scaling
+# ---------------------------------------------------------------------------
+
+
+def fig3a(profile: Optional[str] = None) -> FigureData:
+    """VPIC-IO write bandwidth on Summit (weak scaling, sync vs async)."""
+    p = resolve_profile(profile)
+    cfg = VPICConfig(steps=_STEPS[p])
+    return _bandwidth_figure(
+        "fig3a", "VPIC-IO write aggregate bandwidth, Summit (weak scaling)",
+        summit(), "vpic-io", vpic_program, lambda nranks: cfg,
+        scales=_SCALES[("summit", p)], reps=_REPS[p], op="write", seed=31,
+    )
+
+
+def fig3b(profile: Optional[str] = None) -> FigureData:
+    """VPIC-IO write bandwidth on Cori-Haswell."""
+    p = resolve_profile(profile)
+    cfg = VPICConfig(steps=_STEPS[p])
+    return _bandwidth_figure(
+        "fig3b", "VPIC-IO write aggregate bandwidth, Cori-Haswell (weak scaling)",
+        cori_haswell(), "vpic-io", vpic_program, lambda nranks: cfg,
+        scales=_SCALES[("cori", p)], reps=_REPS[p], op="write", seed=32,
+    )
+
+
+def _bdcats_figure(name: str, machine: MachineSpec, scales, reps, seed,
+                   profile: str) -> FigureData:
+    cfg = BDCATSConfig(steps=_STEPS[profile])
+    return _bandwidth_figure(
+        name, f"BD-CATS-IO read aggregate bandwidth, {machine.name} (weak scaling)",
+        machine, "bdcats-io", bdcats_program, lambda nranks: cfg,
+        scales=scales, reps=reps, op="read",
+        prepopulate_factory=lambda config: (
+            lambda lib, nranks: prepopulate_vpic_file(lib, config, nranks)
+        ),
+        seed=seed,
+    )
+
+
+def fig3c(profile: Optional[str] = None) -> FigureData:
+    """BD-CATS-IO read bandwidth on Summit."""
+    p = resolve_profile(profile)
+    return _bdcats_figure("fig3c", summit(), _SCALES[("summit", p)],
+                          _REPS[p], seed=33, profile=p)
+
+
+def fig3d(profile: Optional[str] = None) -> FigureData:
+    """BD-CATS-IO read bandwidth on Cori-Haswell."""
+    p = resolve_profile(profile)
+    return _bdcats_figure("fig3d", cori_haswell(), _SCALES[("cori", p)],
+                          _REPS[p], seed=34, profile=p)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — Nyx and Castro, strong scaling
+# ---------------------------------------------------------------------------
+
+
+def fig4a(profile: Optional[str] = None) -> FigureData:
+    """Nyx large (2048³) plotfile bandwidth on Summit (strong scaling)."""
+    p = resolve_profile(profile)
+    # Nyx runs GPU-accelerated on Summit (§V-A.3): writes include the
+    # device→host transfer.
+    cfg = NyxConfig.large(n_plotfiles=_STEPS[p], use_gpu=True)
+    return _bandwidth_figure(
+        "fig4a", "Nyx large (2048^3, GPU) write aggregate bandwidth, Summit "
+                 "(strong scaling)",
+        summit(), "nyx-large", nyx_program, lambda nranks: cfg,
+        scales=_SCALES[("summit-sat", p)], reps=_REPS[p], op="write", seed=41,
+    )
+
+
+def fig4b(profile: Optional[str] = None) -> FigureData:
+    """Nyx small (256³) plotfile bandwidth on Cori-Haswell."""
+    p = resolve_profile(profile)
+    cfg = NyxConfig.small(n_plotfiles=_STEPS[p])
+    return _bandwidth_figure(
+        "fig4b", "Nyx small (256^3) write aggregate bandwidth, Cori-Haswell "
+                 "(strong scaling)",
+        cori_haswell(), "nyx-small", nyx_program, lambda nranks: cfg,
+        scales=_SCALES[("cori", p)], reps=_REPS[p], op="write", seed=42,
+    )
+
+
+def fig4c(profile: Optional[str] = None) -> FigureData:
+    """Castro plotfile bandwidth on Summit (strong scaling)."""
+    p = resolve_profile(profile)
+    cfg = CastroConfig(n_plotfiles=_STEPS[p])
+    return _bandwidth_figure(
+        "fig4c", "Castro (128^3, 6 comps, 2 particles/cell) write aggregate "
+                 "bandwidth, Summit (strong scaling)",
+        summit(), "castro", castro_program, lambda nranks: cfg,
+        scales=_SCALES[("summit-app", p)], reps=_REPS[p], op="write", seed=43,
+    )
+
+
+def fig4d(profile: Optional[str] = None) -> FigureData:
+    """Castro plotfile bandwidth on Cori-Haswell."""
+    p = resolve_profile(profile)
+    cfg = CastroConfig(n_plotfiles=_STEPS[p])
+    return _bandwidth_figure(
+        "fig4d", "Castro write aggregate bandwidth, Cori-Haswell "
+                 "(strong scaling)",
+        cori_haswell(), "castro", castro_program, lambda nranks: cfg,
+        scales=_SCALES[("cori-app", p)], reps=_REPS[p], op="write", seed=44,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — Cosmoflow, Fig. 6 — EQSIM
+# ---------------------------------------------------------------------------
+
+
+def fig5(profile: Optional[str] = None) -> FigureData:
+    """Cosmoflow batch-read bandwidth on Summit (4 training epochs)."""
+    p = resolve_profile(profile)
+    cfg = CosmoflowConfig(
+        epochs=2 if p == "quick" else 4,
+        batches_per_rank=4 if p == "quick" else 8,
+    )
+    return _bandwidth_figure(
+        "fig5", "Cosmoflow batch read aggregate bandwidth, Summit",
+        summit(), "cosmoflow", cosmoflow_program, lambda nranks: cfg,
+        scales=_SCALES[("summit-app", p)], reps=_REPS[p], op="read",
+        prepopulate_factory=lambda config: (
+            lambda lib, nranks: config.prepopulate(lib, nranks)
+        ),
+        seed=50,
+    )
+
+
+def fig6(profile: Optional[str] = None) -> FigureData:
+    """EQSIM/SW4 checkpoint bandwidth on Summit (strong scaling)."""
+    p = resolve_profile(profile)
+    cfg = SW4Config(n_checkpoints=_STEPS[p])
+    return _bandwidth_figure(
+        "fig6", "EQSIM (SW4, grid 50, 30000x30000x17000) checkpoint aggregate "
+                "bandwidth, Summit (strong scaling)",
+        summit(), "eqsim-sw4", sw4_program, lambda nranks: cfg,
+        scales=_SCALES[("summit-sat", p)], reps=_REPS[p], op="write", seed=60,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — partial overlap: time steps per computation phase
+# ---------------------------------------------------------------------------
+
+
+def fig7(profile: Optional[str] = None) -> FigureData:
+    """Nyx on Cori: application duration vs time steps per compute phase.
+
+    Total simulation steps stay fixed; the plotfile interval varies, so
+    small intervals mean many I/O phases.  The estimated durations come
+    from the Eq. 1/2 model with costs measured on the *largest*
+    interval's runs (the model's history-driven workflow).
+    """
+    p = resolve_profile(profile)
+    total_steps = 48 if p == "quick" else 192
+    intervals = ([1, 2, 4, 8, 16, 48] if p == "quick"
+                 else [1, 3, 6, 12, 24, 48, 96, 192])
+    nranks = 128 if p == "quick" else 512
+    machine = cori_haswell()
+    # Short steps relative to the plotfile cost, so checkpoint frequency
+    # visibly stretches the synchronous duration (the Fig. 7 regime).
+    seconds_per_step = 0.1
+
+    fig = FigureData(
+        name="fig7",
+        title=f"Nyx on Cori-Haswell: application duration vs time steps per "
+              f"computation phase ({total_steps} total steps, {nranks} ranks)",
+        columns=["steps/phase", "io phases", "sync s", "est sync s",
+                 "async s", "est async s"],
+    )
+
+    measured: dict[tuple[str, int], float] = {}
+    probe = {}
+    for interval in intervals:
+        cfg = NyxConfig.small(
+            plot_int=interval,
+            n_plotfiles=total_steps // interval,
+            seconds_per_step=seconds_per_step,
+        )
+        for mode in ("sync", "async"):
+            result = run_experiment(
+                machine, "nyx-overlap", nyx_program, cfg, mode=mode,
+                nranks=nranks, op="write",
+            )
+            measured[(mode, interval)] = result.app_time
+            probe[(mode, interval)] = result
+
+    # Model costs from the largest-interval runs (one I/O phase each).
+    ref = max(intervals)
+    ref_sync = probe[("sync", ref)]
+    ref_async = probe[("async", ref)]
+    phase_bytes = ref_sync.total_bytes / ref_sync.n_phases
+    t_io = phase_bytes / ref_sync.peak_bandwidth
+    t_transact = phase_bytes / ref_async.peak_bandwidth
+
+    for interval in intervals:
+        n_phases = total_steps // interval
+        costs = EpochCosts(
+            t_comp=interval * seconds_per_step,
+            t_io=t_io,
+            t_transact=t_transact,
+        )
+        est_sync = app_time([costs] * n_phases, "sync")
+        est_async = app_time([costs] * n_phases, "async",
+                             include_final_drain=True)
+        fig.add_row(
+            interval, n_phases,
+            measured[("sync", interval)], est_sync,
+            measured[("async", interval)], est_async,
+        )
+    fig.meta["t_io (s)"] = t_io
+    fig.meta["t_transact (s)"] = t_transact
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — run-to-run variability under contention
+# ---------------------------------------------------------------------------
+
+
+def fig8(profile: Optional[str] = None) -> FigureData:
+    """VPIC-IO on Summit across days: sync varies, async stays flat."""
+    p = resolve_profile(profile)
+    days = 6 if p == "quick" else 10
+    nranks = 768 if p == "quick" else 3072
+    cfg = VPICConfig(steps=_STEPS[p])
+    machine = summit()
+    contention = ContentionModel(seed=80, median_load=0.6, sigma=0.8)
+
+    fig = FigureData(
+        name="fig8",
+        title=f"VPIC-IO variability on Summit across {days} runs "
+              f"({nranks} ranks)",
+        columns=["day", "availability", "sync GB/s", "async GB/s"],
+    )
+    sync_obs, async_obs = [], []
+    for day in range(days):
+        row = [day]
+        availability = contention.availability(day)
+        row.append(availability)
+        for mode, obs in (("sync", sync_obs), ("async", async_obs)):
+            result = run_experiment(
+                machine, "vpic-io", vpic_program, cfg, mode=mode,
+                nranks=nranks, day=day, contention=contention, op="write",
+            )
+            obs.append(result.peak_bandwidth)
+            row.append(result.peak_bandwidth / GB)
+        fig.add_row(*row)
+    s = variability_stats(sync_obs)
+    a = variability_stats(async_obs)
+    fig.meta["sync CV"] = s.cv
+    fig.meta["async CV"] = a.cv
+    fig.meta["sync max/min"] = s.spread_ratio
+    fig.meta["async max/min"] = a.spread_ratio
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# §III-B1 micro-benchmarks
+# ---------------------------------------------------------------------------
+
+
+def microbench_memcpy(profile: Optional[str] = None) -> FigureData:
+    """Host memcpy bandwidth vs size on both machines (§III-B1)."""
+    resolve_profile(profile)
+    fig = FigureData(
+        name="mb-memcpy",
+        title="memcpy bandwidth vs transfer size (constant above 32 MB)",
+        columns=["size MiB", "summit GB/s", "cori GB/s"],
+    )
+    s_samples = memcpy_microbench(summit())
+    c_samples = memcpy_microbench(cori_haswell())
+    for s, c in zip(s_samples, c_samples):
+        fig.add_row(s.nbytes / Mi, s.bandwidth / GB, c.bandwidth / GB)
+    return fig
+
+
+def microbench_gpu(profile: Optional[str] = None) -> FigureData:
+    """GPU↔CPU copy bandwidth vs size, pinned vs pageable (§III-B1)."""
+    resolve_profile(profile)
+    fig = FigureData(
+        name="mb-gpu",
+        title="Summit NVLink device-host copy bandwidth (amortized above "
+              "10 MB; pinned near the 50 GB/s theoretical peak)",
+        columns=["size MiB", "pinned GB/s", "pageable GB/s"],
+    )
+    pinned = gpu_transfer_microbench(summit(), pinned=True)
+    pageable = gpu_transfer_microbench(summit(), pinned=False)
+    for p_, q in zip(pinned, pageable):
+        fig.add_row(p_.nbytes / Mi, p_.bandwidth / GB, q.bandwidth / GB)
+    return fig
+
+
+def all_figures(profile: Optional[str] = None) -> dict[str, FigureData]:
+    """Regenerate every evaluation figure; keyed by figure id."""
+    makers = [fig3a, fig3b, fig3c, fig3d, fig4a, fig4b, fig4c, fig4d,
+              fig5, fig6, fig7, fig8, microbench_memcpy, microbench_gpu]
+    return {fig.name: fig for fig in (m(profile) for m in makers)}

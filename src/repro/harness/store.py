@@ -1,0 +1,48 @@
+"""Persistence for experiment campaigns.
+
+Sweeps at the paper profile take real wall-clock time; saving their raw
+results lets the analysis (fits, figures, crossover searches) be rerun
+without resimulating.  Results serialize to a small JSON document with
+a format version for forward compatibility.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Sequence, Union
+
+from repro.harness.experiment import ExperimentResult
+
+__all__ = ["load_results", "save_results"]
+
+FORMAT_VERSION = 1
+
+
+def save_results(results: Sequence[ExperimentResult],
+                 path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write experiment results to ``path`` as JSON; returns the path."""
+    path = pathlib.Path(path)
+    doc = {
+        "format": "repro-experiment-results",
+        "version": FORMAT_VERSION,
+        "results": [dataclasses.asdict(r) for r in results],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=1))
+    return path
+
+
+def load_results(path: Union[str, pathlib.Path]) -> list[ExperimentResult]:
+    """Read experiment results saved by :func:`save_results`."""
+    path = pathlib.Path(path)
+    doc = json.loads(path.read_text())
+    if doc.get("format") != "repro-experiment-results":
+        raise ValueError(f"{path} is not a repro results file")
+    if doc.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"{path} has format version {doc.get('version')}, "
+            f"expected {FORMAT_VERSION}"
+        )
+    return [ExperimentResult(**row) for row in doc["results"]]

@@ -1,0 +1,59 @@
+"""HDF5-style parallel I/O library with a Virtual Object Layer (VOL).
+
+Mirrors the architecture the paper evaluates (§II-A): applications see a
+single self-describing *container* (file → groups → datasets with
+dataspaces and datatypes); all data movement is routed through a
+pluggable VOL connector.
+
+Two connectors are provided:
+
+- :class:`~repro.hdf5.native_vol.NativeVOL`: synchronous — ``H5Dwrite``/
+  ``H5Dread`` block for the full parallel-file-system transfer.
+- :class:`~repro.hdf5.async_vol.AsyncVOL`: the asynchronous connector of
+  Tang et al. [5] — the caller blocks only for a *transactional copy*
+  into a staging buffer (DRAM or node-local SSD); one background worker
+  per rank (the Argobots thread) drains staged operations to the PFS in
+  order.  Event sets (``H5ES``) expose completion; reads support
+  prefetching triggered after the first (blocking) time-step read.
+
+Every operation is recorded as an :class:`~repro.trace.IOOpRecord`, the
+raw material for the paper's aggregate-bandwidth metrics and for the
+empirical model's measurement history (Fig. 2 feedback loop).
+"""
+
+from repro.hdf5.types import (
+    FLOAT32,
+    FLOAT64,
+    INT32,
+    INT64,
+    UINT8,
+    Datatype,
+)
+from repro.hdf5.attributes import AttributeSet
+from repro.hdf5.dataspace import Hyperslab, slab_1d
+from repro.hdf5.objects import Dataset, File, Group, H5Library
+from repro.hdf5.eventset import EventSet
+from repro.hdf5.vol import VOLConnector
+from repro.hdf5.native_vol import NativeVOL
+from repro.hdf5.async_vol import AsyncVOL, SequentialPrefetcher
+
+__all__ = [
+    "AsyncVOL",
+    "AttributeSet",
+    "Dataset",
+    "Datatype",
+    "EventSet",
+    "FLOAT32",
+    "FLOAT64",
+    "File",
+    "Group",
+    "H5Library",
+    "Hyperslab",
+    "INT32",
+    "INT64",
+    "NativeVOL",
+    "SequentialPrefetcher",
+    "UINT8",
+    "VOLConnector",
+    "slab_1d",
+]

@@ -1,0 +1,547 @@
+"""The asynchronous VOL connector (Tang et al. [5], §II-A).
+
+Control flow per ``H5Dwrite_async``:
+
+1. **Transactional copy** (blocking): the caller reserves space in the
+   node's staging buffer and copies its data there — a host memcpy
+   (DRAM staging), a device→host transfer (GPU sources) or a local-SSD
+   write.  This is the paper's ``t_transact_overhead``: "a non-zero-copy
+   ... used ... to eliminate data races between the main application
+   thread and background I/O threads" (§III-A).
+2. **Background execution**: the operation is queued to the rank's
+   background worker (the Argobots thread of the real connector), which
+   drains staged operations to the parallel file system *in order*.
+3. **Completion**: the operation's event fires; event sets
+   (:class:`~repro.hdf5.eventset.EventSet`) collect these for
+   ``H5ESwait``; ``H5Fclose`` waits for the rank's outstanding work.
+
+Reads support prefetching: "prefetching is triggered after reading data
+for the first time step.  The first read is a blocking operation"
+(§V-A.2).  After a blocking read, the configured prefetcher plans
+background reads of upcoming datasets into the staging buffer; later
+reads that hit the cache block only for a local copy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Generator, Optional
+
+import numpy as np
+
+from repro.sim.engine import AllOf, Engine, SimEvent
+from repro.sim.primitives import Queue
+from repro.hdf5.dataspace import Hyperslab
+from repro.hdf5.vol import VOLConnector
+from repro.trace import IOLog, IOOpRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hdf5.eventset import EventSet
+    from repro.hdf5.objects import StoredDataset, StoredFile
+    from repro.mpi.comm import RankContext
+
+__all__ = ["AsyncVOL", "SequentialPrefetcher", "StagingBuffer"]
+
+
+class StagingBuffer:
+    """Byte-granular reservation of a node's staging space (FIFO)."""
+
+    def __init__(self, engine: Engine, capacity: float, name: str = "staging"):
+        if capacity <= 0:
+            raise ValueError(f"staging capacity must be positive, got {capacity}")
+        self.engine = engine
+        self.capacity = float(capacity)
+        self.name = name
+        self.used = 0.0
+        self._waiters: Deque[tuple[float, SimEvent]] = deque()
+
+    def reserve(self, nbytes: float) -> Generator:
+        """Block until ``nbytes`` of staging space is held."""
+        if nbytes > self.capacity:
+            raise ValueError(
+                f"single reservation of {nbytes:.3g}B exceeds staging "
+                f"capacity {self.capacity:.3g}B"
+            )
+        if not self._waiters and self.used + nbytes <= self.capacity:
+            self.used += nbytes
+            return
+        ev = self.engine.event(name=f"{self.name}.reserve")
+        self._waiters.append((nbytes, ev))
+        yield ev
+
+    def release(self, nbytes: float) -> None:
+        """Return ``nbytes`` of space, admitting FIFO waiters that now fit."""
+        self.used = max(0.0, self.used - nbytes)
+        while self._waiters:
+            need, ev = self._waiters[0]
+            if self.used + need > self.capacity:
+                break
+            self._waiters.popleft()
+            self.used += need
+            ev.succeed()
+
+
+class SequentialPrefetcher:
+    """Prefetch upcoming datasets in creation order.
+
+    After a rank's first blocking read, plans background reads of the
+    next ``depth`` datasets (all remaining by default) following the one
+    just read — matching time-step-ordered files like VPIC's
+    ``/Step#k/<property>`` layout.
+    """
+
+    def __init__(self, depth: Optional[int] = None):
+        if depth is not None and depth < 1:
+            raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+        self.depth = depth
+
+    def plan(self, stored_file: "StoredFile", dataset_path: str,
+             selection: Hyperslab) -> list[tuple[str, Hyperslab]]:
+        """Dataset paths (with the caller's selection) to prefetch."""
+        order = stored_file.dataset_order
+        try:
+            idx = order.index(dataset_path)
+        except ValueError:
+            return []
+        upcoming = order[idx + 1:]
+        if self.depth is not None:
+            upcoming = upcoming[: self.depth]
+        plans = []
+        for path in upcoming:
+            dset = stored_file.datasets[path]
+            if selection.ndim == len(dset.shape) and selection.fits_in(dset.shape):
+                plans.append((path, selection))
+        return plans
+
+
+class _RankState:
+    """Per-rank connector state: worker queue and outstanding ops."""
+
+    __slots__ = ("queue", "worker", "outstanding", "initialized")
+
+    def __init__(self) -> None:
+        self.queue: Optional[Queue] = None
+        self.worker = None
+        self.outstanding: list[SimEvent] = []
+        self.initialized = False
+
+
+class _WriteDesc:
+    """Descriptor for one queued background write (merge-capable)."""
+
+    __slots__ = ("ctx", "stored", "selection", "payload", "nbytes",
+                 "record", "staging", "done")
+
+    def __init__(self, ctx, stored, selection, payload, nbytes, record,
+                 staging, done):
+        self.ctx = ctx
+        self.stored = stored
+        self.selection = selection
+        self.payload = payload
+        self.nbytes = nbytes
+        self.record = record
+        self.staging = staging
+        self.done = done
+
+    @property
+    def mergeable(self) -> bool:
+        """Contiguous-layout writes can coalesce into one request."""
+        return self.stored.chunks is None
+
+
+class _CacheEntry:
+    """One prefetched (or in-flight) dataset selection on a node."""
+
+    __slots__ = ("nbytes", "ready", "state")
+
+    def __init__(self, engine: Engine, nbytes: float):
+        self.nbytes = nbytes
+        self.ready = engine.event(name="prefetch.ready")
+        self.state = "inflight"  # -> "ready"
+
+
+class AsyncVOL(VOLConnector):
+    """Background-thread asynchronous connector.
+
+    Parameters
+    ----------
+    staging:
+        ``"dram"`` (default) stages via host memcpy; ``"ssd"`` stages to
+        the node-local drive (Summit's NVMe) — slower transactional copy
+        but no DRAM footprint; ``"bb"`` stages to the machine's shared
+        burst buffer (Cori, 1.7 TB/s) and drains server-side — the
+        DataElevator pattern of §II-C.
+    staging_fraction:
+        Fraction of node DRAM usable as staging space (DRAM mode).
+    init_time / term_time:
+        Per-rank connector setup/teardown: buffer allocation, Argobots
+        pool spawn, file descriptors (the paper's ``t_init``/``t_term``,
+        "typically small and ... relatively constant", §III-A).
+    prefetcher:
+        Read-prefetch policy; ``None`` disables prefetching.
+    nworkers:
+        Background streams per rank (the Argobots pool size).  One
+        (default, matching the published connector) drains operations
+        strictly in submission order; more streams overlap independent
+        operations' storage requests at the cost of ordering guarantees
+        between them.
+    merge_writes:
+        Coalesce adjacent queued writes to the same file into one larger
+        storage request (up to ``merge_threshold`` bytes).  Rescues
+        workloads whose per-op sizes are too small to use the file
+        system efficiently (the Fig. 4b regime) at zero application
+        cost — the drain happens off the critical path anyway.
+    """
+
+    mode = "async"
+
+    _DEFAULT_PREFETCHER = object()
+
+    def __init__(
+        self,
+        log: Optional[IOLog] = None,
+        staging: str = "dram",
+        staging_fraction: float = 0.5,
+        init_time: float = 0.05,
+        term_time: float = 0.02,
+        prefetcher=_DEFAULT_PREFETCHER,
+        nworkers: int = 1,
+        merge_writes: bool = False,
+        merge_threshold: float = 256 * 1024 * 1024,
+    ):
+        super().__init__(log)
+        if staging not in ("dram", "ssd", "bb"):
+            raise ValueError(
+                f"staging must be 'dram', 'ssd' or 'bb', got {staging!r}"
+            )
+        if not 0.0 < staging_fraction <= 1.0:
+            raise ValueError("staging_fraction must be in (0,1]")
+        if init_time < 0 or term_time < 0:
+            raise ValueError("init/term times must be non-negative")
+        if nworkers < 1:
+            raise ValueError(f"nworkers must be >= 1, got {nworkers}")
+        if merge_threshold <= 0:
+            raise ValueError("merge_threshold must be positive")
+        self.nworkers = nworkers
+        self.merge_writes = merge_writes
+        self.merge_threshold = float(merge_threshold)
+        self.staging = staging
+        self.staging_fraction = staging_fraction
+        self.init_time = init_time
+        self.term_time = term_time
+        if prefetcher is AsyncVOL._DEFAULT_PREFETCHER:
+            prefetcher = SequentialPrefetcher()
+        self.prefetcher = prefetcher  # None disables read prefetching
+        self._ranks: dict[int, _RankState] = {}
+        self._staging: dict[int, StagingBuffer] = {}
+        self._cache: dict[tuple, _CacheEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _rank_state(self, ctx: "RankContext") -> _RankState:
+        state = self._ranks.get(ctx.rank)
+        if state is None:
+            state = _RankState()
+            self._ranks[ctx.rank] = state
+        return state
+
+    def _node_staging(self, ctx: "RankContext") -> StagingBuffer:
+        node = ctx.node
+        key = -1 if self.staging == "bb" else node.index
+        buf = self._staging.get(key)
+        if buf is None:
+            if self.staging == "dram":
+                capacity = node.spec.dram_bytes * self.staging_fraction
+            elif self.staging == "bb":
+                if ctx.cluster.burst_buffer is None:
+                    raise ValueError(
+                        f"staging='bb' but {ctx.cluster.machine.name} has "
+                        f"no burst buffer"
+                    )
+                # shared SSD tier: capacity far above any staging need
+                capacity = 100e15
+            else:
+                if node.spec.local_ssd is None:
+                    raise ValueError(
+                        f"staging='ssd' but node {node.index} has no local SSD"
+                    )
+                capacity = node.spec.local_ssd.capacity_bytes
+            buf = StagingBuffer(ctx.engine, capacity,
+                                name=f"staging[{key}]")
+            self._staging[key] = buf
+        return buf
+
+    def _ensure_rank(self, ctx: "RankContext") -> Generator:
+        """Charge t_init and spawn the background worker, once per rank."""
+        state = self._rank_state(ctx)
+        if state.initialized:
+            return
+        state.initialized = True
+        yield ctx.engine.timeout(self.init_time)
+        state.queue = Queue(ctx.engine, name=f"asyncvol.q{ctx.rank}")
+        state.worker = [
+            ctx.engine.process(
+                self._worker_loop(ctx, state),
+                name=f"asyncvol.worker{ctx.rank}.{i}",
+            )
+            for i in range(self.nworkers)
+        ]
+
+    def _worker_loop(self, ctx: "RankContext", state: _RankState) -> Generator:
+        """The rank's background I/O thread: drain tasks in order.
+
+        A failing operation fails its completion event instead of
+        killing the worker, so the error surfaces at ``H5ESwait`` /
+        ``H5Fclose`` (HDF5's event-set error semantics) and later
+        operations still execute.
+        """
+        while True:
+            task = yield state.queue.get()
+            if task is Queue.CLOSED:
+                return
+            if isinstance(task, _WriteDesc):
+                batch = [task]
+                if self.merge_writes and task.mergeable:
+                    total = task.nbytes
+                    while total < self.merge_threshold:
+                        nxt = state.queue.pop_if(
+                            lambda item: isinstance(item, _WriteDesc)
+                            and item.mergeable
+                            and item.stored.file is task.stored.file
+                        )
+                        if nxt is None:
+                            break
+                        batch.append(nxt)
+                        total += nxt.nbytes
+                try:
+                    yield from self._bg_write_batch(ctx, batch)
+                except Exception as err:  # noqa: BLE001
+                    # fail every op and free its staging reservation so
+                    # backpressured writers are not wedged forever
+                    for desc in batch:
+                        if not desc.done.triggered:
+                            desc.staging.release(desc.nbytes)
+                            desc.done.fail(err)
+                continue
+            gen, done = task
+            try:
+                yield from gen
+            except Exception as err:  # noqa: BLE001 - surface via the event
+                if not done.triggered:
+                    done.fail(err)
+
+    def finalize(self, ctx: "RankContext") -> Generator:
+        """Tear down this rank's worker (the paper's ``t_term``)."""
+        state = self._rank_state(ctx)
+        if not state.initialized:
+            return
+        yield from self._drain(state)
+        if state.queue is not None and not state.queue.closed:
+            state.queue.close()
+        yield ctx.engine.timeout(self.term_time)
+        state.initialized = False
+        state.queue = None
+        state.worker = None
+
+    def _drain(self, state: _RankState) -> Generator:
+        """Wait for every outstanding op of one rank."""
+        while state.outstanding:
+            batch = [ev for ev in state.outstanding if not ev.triggered]
+            state.outstanding = []
+            if batch:
+                yield AllOf(batch)
+
+    # ------------------------------------------------------------------
+    # File operations
+    # ------------------------------------------------------------------
+    def file_create(self, ctx: "RankContext", stored: "StoredFile") -> Generator:
+        yield from self._ensure_rank(ctx)
+        yield ctx.engine.timeout(stored.target.fs.spec.metadata_latency)
+
+    def file_open(self, ctx: "RankContext", stored: "StoredFile") -> Generator:
+        yield from self._ensure_rank(ctx)
+        yield ctx.engine.timeout(stored.target.fs.spec.metadata_latency)
+
+    def file_flush(self, ctx: "RankContext", stored: "StoredFile") -> Generator:
+        yield from self._drain(self._rank_state(ctx))
+
+    def file_close(self, ctx: "RankContext", stored: "StoredFile") -> Generator:
+        """H5Fclose blocks until this rank's async ops are durable."""
+        yield from self._drain(self._rank_state(ctx))
+        yield ctx.engine.timeout(stored.target.fs.spec.metadata_latency)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def dataset_write(
+        self,
+        ctx: "RankContext",
+        stored: "StoredDataset",
+        selection: Hyperslab,
+        data: Optional[np.ndarray],
+        phase: Optional[int],
+        es: Optional["EventSet"],
+        from_gpu: bool = False,
+        pinned: bool = True,
+    ) -> Generator:
+        yield from self._ensure_rank(ctx)
+        state = self._rank_state(ctx)
+        staging = self._node_staging(ctx)
+        nbytes = self._nbytes(stored, selection)
+        t_submit = ctx.engine.now
+
+        # 1. Transactional copy (blocking): reserve space + local copy.
+        yield from staging.reserve(nbytes)
+        if from_gpu:
+            yield ctx.cluster.gpu_transfer(ctx.node, nbytes, pinned=pinned,
+                                           tag=("stage-d2h", ctx.rank))
+        elif self.staging == "ssd":
+            yield ctx.node.ssd.write(nbytes, tag=("stage-ssd", ctx.rank))
+        elif self.staging == "bb":
+            yield ctx.cluster.burst_buffer.write(ctx.node, nbytes,
+                                                 tag=("stage-bb", ctx.rank))
+        else:
+            yield ctx.cluster.memcpy(ctx.node, nbytes,
+                                     tag=("stage-cpy", ctx.rank))
+        t_unblocked = ctx.engine.now
+        record = self.log.append(IOOpRecord(
+            op="write", mode=self.mode, rank=ctx.rank, nbytes=nbytes,
+            dataset=stored.path, phase=phase, t_submit=t_submit,
+            t_unblocked=t_unblocked,
+        ))
+
+        # 2. Queue the PFS transfer for the background worker.
+        done = ctx.engine.event(name=f"async-write({stored.path})")
+        state.outstanding.append(done)
+        if es is not None:
+            es.add(done)
+        # Snapshot payload now (the staging copy's purpose is exactly to
+        # decouple the app buffer from the in-flight data).
+        payload = None if data is None else np.array(data)
+        state.queue.put(_WriteDesc(ctx, stored, selection, payload, nbytes,
+                                   record, staging, done))
+
+    def _bg_write_batch(self, ctx, batch: list) -> Generator:
+        """Drain one (possibly merged) batch of staged writes to the PFS.
+
+        Merged batches issue a single storage request covering every
+        operation's bytes; each operation still completes individually
+        (records, payload application, staging release, events).
+        """
+        head = batch[0]
+        target = head.stored.file.target
+        if self.staging == "bb":
+            # Server-side drain: burst buffer -> PFS, no node involved.
+            for req in self._batch_requests(batch):
+                yield ctx.cluster.burst_buffer.drain_to_pfs(
+                    ctx.cluster.pfs, target, req, tag=("drain-bb", ctx.rank),
+                )
+        else:
+            if self.staging == "ssd":
+                # Drain path reads the staged data back off the drive first.
+                total = sum(d.nbytes for d in batch)
+                yield ctx.node.ssd.read(total, tag=("drain-ssd", ctx.rank))
+                ctx.node.ssd.evict(total)
+            for req in self._batch_requests(batch):
+                yield ctx.cluster.pfs_write(
+                    ctx.node, target, req, tag=("aw", ctx.rank, head.stored.path),
+                )
+        now = ctx.engine.now
+        for desc in batch:
+            desc.record.t_complete = now
+            desc.stored.apply_write(desc.selection, desc.payload)
+            desc.staging.release(desc.nbytes)
+            desc.done.succeed()
+
+    @staticmethod
+    def _batch_requests(batch: list) -> list[float]:
+        """Storage requests for a batch: merged total for a coalesced
+        batch, the per-chunk split for a single (possibly chunked) op."""
+        if len(batch) == 1:
+            desc = batch[0]
+            return desc.stored.request_sizes(desc.selection)
+        return [sum(d.nbytes for d in batch)]
+
+    # ------------------------------------------------------------------
+    # Reads (with prefetch)
+    # ------------------------------------------------------------------
+    def dataset_read(
+        self,
+        ctx: "RankContext",
+        stored: "StoredDataset",
+        selection: Hyperslab,
+        phase: Optional[int],
+        es: Optional["EventSet"],
+    ) -> Generator:
+        yield from self._ensure_rank(ctx)
+        state = self._rank_state(ctx)
+        staging = self._node_staging(ctx)
+        nbytes = self._nbytes(stored, selection)
+        key = self._cache_key(ctx.rank, stored.path, selection)
+        t_submit = ctx.engine.now
+
+        entry = self._cache.get(key)
+        if entry is not None:
+            was_ready = entry.state == "ready"
+            if not was_ready:
+                yield entry.ready  # partially-hidden: wait for in-flight fetch
+            # Local copy from the staging buffer to the app buffer.
+            yield ctx.cluster.memcpy(ctx.node, nbytes,
+                                     tag=("cache-cpy", ctx.rank))
+            del self._cache[key]
+            staging.release(entry.nbytes)
+            now = ctx.engine.now
+            self.log.append(IOOpRecord(
+                op="read", mode=self.mode, rank=ctx.rank, nbytes=nbytes,
+                dataset=stored.path, phase=phase, t_submit=t_submit,
+                t_unblocked=now, t_complete=now, cache_hit=was_ready,
+            ))
+            return stored.read_payload(selection)
+
+        # Miss: blocking read (the paper's first time step), then kick
+        # off background prefetch of upcoming datasets.
+        for req in stored.request_sizes(selection):
+            yield ctx.cluster.pfs_read(ctx.node, stored.file.target, req,
+                                       tag=("ar", ctx.rank, stored.path))
+        now = ctx.engine.now
+        self.log.append(IOOpRecord(
+            op="read", mode=self.mode, rank=ctx.rank, nbytes=nbytes,
+            dataset=stored.path, phase=phase, t_submit=t_submit,
+            t_unblocked=now, t_complete=now, cache_hit=False,
+        ))
+        # Every blocking miss (re)plans prefetch of upcoming datasets:
+        # the first time-step read triggers it (paper §V-A.2), and a new
+        # pass over the file (e.g. the next training epoch) re-arms it.
+        if self.prefetcher is not None:
+            for path, sel in self.prefetcher.plan(stored.file, stored.path,
+                                                  selection):
+                self._start_prefetch(ctx, state, stored.file, path, sel)
+        return stored.read_payload(selection)
+
+    def _start_prefetch(self, ctx, state, stored_file, path, selection) -> None:
+        dset = stored_file.datasets[path]
+        nbytes = float(selection.nbytes(dset.dtype.itemsize))
+        key = self._cache_key(ctx.rank, path, selection)
+        if key in self._cache:
+            return
+        entry = _CacheEntry(ctx.engine, nbytes)
+        self._cache[key] = entry
+        state.outstanding.append(entry.ready)
+        state.queue.put((
+            self._bg_prefetch(ctx, stored_file, nbytes, entry, path),
+            entry.ready,
+        ))
+
+    def _bg_prefetch(self, ctx, stored_file, nbytes, entry, path) -> Generator:
+        staging = self._node_staging(ctx)
+        yield from staging.reserve(nbytes)
+        flow = ctx.cluster.pfs_read(ctx.node, stored_file.target, nbytes,
+                                    tag=("pf", ctx.rank, path))
+        yield flow
+        entry.state = "ready"
+        entry.ready.succeed()
+
+    @staticmethod
+    def _cache_key(rank: int, path: str, selection: Hyperslab) -> tuple:
+        return (rank, path, selection.start, selection.count)

@@ -1,0 +1,108 @@
+"""HDF5 attributes: small typed metadata on files, groups and datasets.
+
+HDF5 is "a self-describing file format that provides an abstraction
+layer to manage data and the metadata within a single file" (§II-A).
+Attributes carry that metadata: simulation parameters on the file,
+time-step numbers on groups, units on datasets.  They are small and
+live with the object header, so reads/writes cost one metadata
+round-trip, not a data transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+import numpy as np
+
+__all__ = ["AttributeSet"]
+
+#: Types storable in an attribute (scalars, strings, small arrays).
+AttrValue = Union[int, float, str, bool, np.ndarray, list, tuple]
+
+#: Attributes above this size belong in a dataset instead (HDF5's
+#: compact object-header limit is 64 KiB).
+MAX_ATTR_BYTES = 64 * 1024
+
+
+class AttributeSet:
+    """Named small-value metadata attached to one HDF5 object.
+
+    Mapping-style access (``attrs["nsteps"] = 100``), mirroring h5py.
+    Values are defensively copied on write and read so shared stored
+    objects cannot be mutated through stale references.
+    """
+
+    def __init__(self, owner_path: str = "/"):
+        self._owner_path = owner_path
+        self._attrs: dict[str, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._attrs
+
+    def __iter__(self):
+        return iter(sorted(self._attrs))
+
+    def keys(self) -> list[str]:
+        """Attribute names in sorted order."""
+        return sorted(self._attrs)
+
+    def __setitem__(self, name: str, value: AttrValue) -> None:
+        if not name or "/" in name:
+            raise ValueError(f"invalid attribute name: {name!r}")
+        value = self._normalize(value)
+        if self._nbytes(value) > MAX_ATTR_BYTES:
+            raise ValueError(
+                f"attribute {name!r} exceeds {MAX_ATTR_BYTES} bytes; "
+                f"store large data in a dataset instead"
+            )
+        self._attrs[name] = value
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            value = self._attrs[name]
+        except KeyError:
+            raise KeyError(
+                f"no attribute {name!r} on {self._owner_path!r}"
+            ) from None
+        if isinstance(value, np.ndarray):
+            return value.copy()
+        return value
+
+    def __delitem__(self, name: str) -> None:
+        if name not in self._attrs:
+            raise KeyError(f"no attribute {name!r} on {self._owner_path!r}")
+        del self._attrs[name]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Value of ``name`` or ``default``."""
+        return self[name] if name in self else default
+
+    def update(self, values: dict[str, AttrValue]) -> None:
+        """Set several attributes at once."""
+        for name, value in values.items():
+            self[name] = value
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict snapshot of all attributes."""
+        return {name: self[name] for name in self}
+
+    @staticmethod
+    def _normalize(value: AttrValue) -> Any:
+        if isinstance(value, (list, tuple)):
+            value = np.asarray(value)
+        if isinstance(value, np.ndarray):
+            return value.copy()
+        if isinstance(value, (bool, int, float, str, np.integer, np.floating)):
+            return value
+        raise TypeError(f"unsupported attribute type: {type(value).__name__}")
+
+    @staticmethod
+    def _nbytes(value: Any) -> int:
+        if isinstance(value, np.ndarray):
+            return int(value.nbytes)
+        if isinstance(value, str):
+            return len(value.encode())
+        return 8

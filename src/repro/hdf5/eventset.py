@@ -1,0 +1,47 @@
+"""Event sets — the ``H5ES`` API of HDF5 1.13+.
+
+Asynchronous operations are associated with an event set at submission;
+``H5ES_wait`` blocks until every operation inserted so far completes.
+The paper's async workloads wait on the previous epoch's event set
+before (or while) issuing the next epoch's operations.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim.engine import AllOf, Engine, SimEvent
+
+__all__ = ["EventSet"]
+
+
+class EventSet:
+    """A set of pending asynchronous operations."""
+
+    def __init__(self, engine: Engine, name: str = "es"):
+        self.engine = engine
+        self.name = name
+        self._pending: list[SimEvent] = []
+        #: Total operations ever inserted (H5ESget_op_counter analogue).
+        self.op_counter = 0
+
+    def add(self, event: SimEvent) -> None:
+        """Insert one operation's completion event."""
+        self._pending.append(event)
+        self.op_counter += 1
+
+    @property
+    def n_pending(self) -> int:
+        """Operations not yet known complete (without waiting)."""
+        return sum(1 for ev in self._pending if not ev.triggered)
+
+    def wait(self) -> Generator:
+        """``H5ESwait``: block until all inserted operations complete.
+
+        Operations inserted *while waiting* (e.g. by a prefetcher) are
+        also drained before returning.
+        """
+        while self._pending:
+            batch, self._pending = self._pending, []
+            yield AllOf(batch)
+        return None

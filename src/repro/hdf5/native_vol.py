@@ -1,0 +1,188 @@
+"""The native (synchronous) VOL connector.
+
+``H5Dwrite``/``H5Dread`` block for the complete parallel-file-system
+transfer, including any GPU→CPU staging copy ("An I/O phase in our
+model includes all data transfers that are involved with I/O
+operations, such as copying from GPU memory to CPU memory before
+persisting to storage", §III-A).
+
+Optional **collective buffering** (MPI-IO two-phase I/O — the tuning
+knob the paper's related work [25-30] optimizes): with
+``collective=True`` every rank's ``H5Dwrite`` synchronizes with its
+peers, data is shuffled over the interconnect to ``naggregators``
+aggregator ranks, and only the aggregators issue (larger) storage
+requests.  This rescues small-per-rank-request workloads at the cost of
+the shuffle and the synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+from repro.sim.engine import AllOf, SimEvent
+from repro.hdf5.dataspace import Hyperslab
+from repro.hdf5.vol import VOLConnector
+from repro.trace import IOOpRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hdf5.eventset import EventSet
+    from repro.hdf5.objects import StoredDataset, StoredFile
+    from repro.mpi.comm import RankContext
+
+__all__ = ["NativeVOL"]
+
+
+class _CollectiveRound:
+    """Rendezvous state for one collective write round on a dataset."""
+
+    __slots__ = ("arrived", "nbytes", "done")
+
+    def __init__(self, done: SimEvent):
+        self.arrived = 0
+        self.nbytes = 0.0
+        self.done = done
+
+
+class NativeVOL(VOLConnector):
+    """Fully blocking connector (HDF5 without the async VOL stacked).
+
+    Parameters
+    ----------
+    collective:
+        Enable MPI-IO-style two-phase writes.  Every rank of the job
+        must then call ``write`` on the dataset (zero-size participation
+        included), as MPI-IO collectives require.
+    naggregators:
+        Aggregator count for collective writes (clamped to the job
+        size); typical MPI-IO defaults use one per node.
+    """
+
+    mode = "sync"
+
+    def __init__(self, log=None, collective: bool = False,
+                 naggregators: int = 1):
+        super().__init__(log)
+        if naggregators < 1:
+            raise ValueError(f"naggregators must be >= 1, got {naggregators}")
+        self.collective = collective
+        self.naggregators = naggregators
+        self._rounds: dict[str, _CollectiveRound] = {}
+
+    def file_create(self, ctx: "RankContext", stored: "StoredFile") -> Generator:
+        # One metadata round-trip to the PFS.
+        yield ctx.engine.timeout(stored.target.fs.spec.metadata_latency)
+
+    def file_open(self, ctx: "RankContext", stored: "StoredFile") -> Generator:
+        yield ctx.engine.timeout(stored.target.fs.spec.metadata_latency)
+
+    def file_flush(self, ctx: "RankContext", stored: "StoredFile") -> Generator:
+        # Synchronous writes are already durable when the call returns.
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def file_close(self, ctx: "RankContext", stored: "StoredFile") -> Generator:
+        yield ctx.engine.timeout(stored.target.fs.spec.metadata_latency)
+
+    def dataset_write(
+        self,
+        ctx: "RankContext",
+        stored: "StoredDataset",
+        selection: Hyperslab,
+        data: Optional[np.ndarray],
+        phase: Optional[int],
+        es: Optional["EventSet"],
+        from_gpu: bool = False,
+        pinned: bool = True,
+    ) -> Generator:
+        nbytes = self._nbytes(stored, selection)
+        t_submit = ctx.engine.now
+        if from_gpu:
+            # Blocking device-to-host copy before the PFS transfer.
+            yield ctx.cluster.gpu_transfer(ctx.node, nbytes, pinned=pinned,
+                                           tag=("d2h", ctx.rank))
+        if self.collective:
+            yield from self._collective_write(ctx, stored, nbytes)
+        else:
+            # One storage request per touched chunk (contiguous: one total).
+            for req in stored.request_sizes(selection):
+                yield ctx.cluster.pfs_write(
+                    ctx.node, stored.file.target, req,
+                    tag=("w", ctx.rank, stored.path),
+                )
+        now = ctx.engine.now
+        record = IOOpRecord(
+            op="write", mode=self.mode, rank=ctx.rank, nbytes=nbytes,
+            dataset=stored.path, phase=phase, t_submit=t_submit,
+            t_unblocked=now, t_complete=now,
+        )
+        self.log.append(record)
+        stored.apply_write(selection, data)
+        if es is not None:
+            # Sync ops complete before insertion; keep ES bookkeeping honest.
+            done = ctx.engine.event(name="sync-op")
+            done.succeed()
+            es.add(done)
+
+    def _collective_write(self, ctx: "RankContext", stored: "StoredDataset",
+                          nbytes: float) -> Generator:
+        """Two-phase write: shuffle to aggregators, aggregators store."""
+        round_ = self._rounds.get(stored.path)
+        if round_ is None:
+            round_ = _CollectiveRound(
+                ctx.engine.event(name=f"coll({stored.path})")
+            )
+            self._rounds[stored.path] = round_
+        round_.arrived += 1
+        round_.nbytes += nbytes
+        my_arrival = round_.arrived
+        # Phase 1: ship my contribution to its aggregator.
+        yield ctx.engine.timeout(ctx.comm.cost.point_to_point(nbytes))
+        if my_arrival == ctx.size:
+            # Last arrival drives phase 2: aggregators issue the writes.
+            del self._rounds[stored.path]
+            naggr = min(self.naggregators, ctx.size)
+            per_aggr = round_.nbytes / naggr
+            rpn = max(1, ctx.size // max(1, len(ctx.cluster.nodes)))
+            flows = [
+                ctx.cluster.pfs_write(
+                    ctx.cluster.node_of_rank(
+                        a * (ctx.size // naggr), rpn
+                    ),
+                    stored.file.target, per_aggr,
+                    tag=("cw", a, stored.path),
+                )
+                for a in range(naggr)
+            ]
+            done = round_.done
+
+            def finish():
+                yield AllOf(flows)
+                done.succeed()
+
+            ctx.engine.process(finish(), name=f"coll-finish({stored.path})")
+        yield round_.done
+
+    def dataset_read(
+        self,
+        ctx: "RankContext",
+        stored: "StoredDataset",
+        selection: Hyperslab,
+        phase: Optional[int],
+        es: Optional["EventSet"],
+    ) -> Generator:
+        nbytes = self._nbytes(stored, selection)
+        t_submit = ctx.engine.now
+        for req in stored.request_sizes(selection):
+            yield ctx.cluster.pfs_read(
+                ctx.node, stored.file.target, req,
+                tag=("r", ctx.rank, stored.path),
+            )
+        now = ctx.engine.now
+        self.log.append(IOOpRecord(
+            op="read", mode=self.mode, rank=ctx.rank, nbytes=nbytes,
+            dataset=stored.path, phase=phase, t_submit=t_submit,
+            t_unblocked=now, t_complete=now,
+        ))
+        return stored.read_payload(selection)

@@ -1,0 +1,40 @@
+"""HDF5 datatypes (the subset the workloads need)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Datatype", "FLOAT32", "FLOAT64", "INT32", "INT64", "UINT8"]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """A fixed-size element type.
+
+    ``np_dtype`` is used when a dataset materializes a backing array
+    (small datasets in tests); performance-only datasets never allocate.
+    """
+
+    name: str
+    itemsize: int
+
+    def __post_init__(self) -> None:
+        if self.itemsize < 1:
+            raise ValueError(f"itemsize must be >= 1, got {self.itemsize}")
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The matching NumPy dtype."""
+        return np.dtype(self.name)
+
+    def __repr__(self) -> str:
+        return f"Datatype({self.name!r}, {self.itemsize})"
+
+
+FLOAT32 = Datatype("float32", 4)
+FLOAT64 = Datatype("float64", 8)
+INT32 = Datatype("int32", 4)
+INT64 = Datatype("int64", 8)
+UINT8 = Datatype("uint8", 1)

@@ -1,0 +1,91 @@
+"""The Virtual Object Layer connector interface.
+
+HDF5's VOL intercepts the public API ("the user still gets the same
+data model ... the VOL connector translates from what the user sees to
+how the data is actually stored", §II-A).  Here a connector implements
+the storage side of file and dataset operations as simulation
+generators; the object handles in :mod:`repro.hdf5.objects` delegate to
+whichever connector the file was opened with, so switching between
+synchronous and asynchronous I/O is a one-argument change — exactly the
+transparency property the paper's adaptive-I/O vision relies on.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+from repro.hdf5.dataspace import Hyperslab
+from repro.trace import IOLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hdf5.eventset import EventSet
+    from repro.hdf5.objects import StoredDataset, StoredFile
+    from repro.mpi.comm import RankContext
+
+__all__ = ["VOLConnector"]
+
+
+class VOLConnector(abc.ABC):
+    """Base class for VOL connectors.
+
+    Every data-path method is a generator to be ``yield from``-ed by a
+    rank program; it returns when the operation's *blocking portion* is
+    done.  Connectors record one :class:`~repro.trace.IOOpRecord` per
+    dataset operation into ``self.log``.
+    """
+
+    #: Short mode tag used in records: "sync" or "async".
+    mode: str = "sync"
+
+    def __init__(self, log: Optional[IOLog] = None):
+        self.log = log if log is not None else IOLog()
+
+    # -- file lifecycle -------------------------------------------------------
+    @abc.abstractmethod
+    def file_create(self, ctx: "RankContext", stored: "StoredFile") -> Generator:
+        """Per-rank cost of creating/attaching to a file."""
+
+    @abc.abstractmethod
+    def file_open(self, ctx: "RankContext", stored: "StoredFile") -> Generator:
+        """Per-rank cost of opening an existing file."""
+
+    @abc.abstractmethod
+    def file_flush(self, ctx: "RankContext", stored: "StoredFile") -> Generator:
+        """Make this rank's issued operations durable."""
+
+    @abc.abstractmethod
+    def file_close(self, ctx: "RankContext", stored: "StoredFile") -> Generator:
+        """Flush then release this rank's handle."""
+
+    # -- dataset data path -----------------------------------------------------
+    @abc.abstractmethod
+    def dataset_write(
+        self,
+        ctx: "RankContext",
+        stored: "StoredDataset",
+        selection: Hyperslab,
+        data: Optional[np.ndarray],
+        phase: Optional[int],
+        es: Optional["EventSet"],
+        from_gpu: bool = False,
+        pinned: bool = True,
+    ) -> Generator:
+        """Write ``selection`` of ``stored``; blocks per connector policy."""
+
+    @abc.abstractmethod
+    def dataset_read(
+        self,
+        ctx: "RankContext",
+        stored: "StoredDataset",
+        selection: Hyperslab,
+        phase: Optional[int],
+        es: Optional["EventSet"],
+    ) -> Generator:
+        """Read ``selection``; returns payload for materialized datasets."""
+
+    # -- helpers ---------------------------------------------------------------
+    def _nbytes(self, stored: "StoredDataset", selection: Hyperslab) -> float:
+        return float(selection.nbytes(stored.dtype.itemsize))

@@ -1,0 +1,72 @@
+"""The paper's performance model (§III) — the core contribution.
+
+Components map one-to-one to the paper:
+
+- :mod:`repro.model.epoch` — the iterative-application time model,
+  Eq. 1 (app time), Eq. 2a (sync epoch), Eq. 2b (async epoch), Eq. 3
+  (I/O time), and the three Fig. 1 scenarios.
+- :mod:`repro.model.regression` — linear least squares
+  ``β=(XᵀX)⁻¹XᵀY`` (Eq. 4) over linear or linear-log features, and the
+  coefficient of determination r² (Eq. 5).
+- :mod:`repro.model.history` — the measurement history fed by past I/O
+  requests (data size, #ranks, aggregate rate).
+- :mod:`repro.model.estimators` — the three cost estimators: compute
+  time (weighted average of past iterations), transactional overhead
+  (memcpy/GPU bandwidth curves fitted from micro-benchmarks), and the
+  I/O rate (regression over the history).
+- :mod:`repro.model.advisor` — the sync-vs-async decision and the
+  Fig. 2 feedback loop (:class:`~repro.model.advisor.AdaptiveVOL`),
+  which wraps the two VOL connectors and switches modes at runtime.
+- :mod:`repro.model.microbench` — the §III-B1 micro-benchmarks that
+  calibrate the transactional-overhead estimator.
+"""
+
+from repro.model.epoch import (
+    EpochCosts,
+    Scenario,
+    app_time,
+    async_epoch_time,
+    classify_scenario,
+    io_time,
+    speedup,
+    sync_epoch_time,
+)
+from repro.model.regression import LinearLeastSquares, pearson_r2, r2_score
+from repro.model.history import IORateSample, MeasurementHistory
+from repro.model.estimators import (
+    ComputeTimeModel,
+    IORateModel,
+    LinearTrendComputeModel,
+    TransactOverheadModel,
+)
+from repro.model.advisor import AdaptiveVOL, Advisor, Decision, Mode
+from repro.model.microbench import (
+    gpu_transfer_microbench,
+    memcpy_microbench,
+)
+
+__all__ = [
+    "AdaptiveVOL",
+    "Advisor",
+    "ComputeTimeModel",
+    "Decision",
+    "EpochCosts",
+    "IORateModel",
+    "IORateSample",
+    "LinearTrendComputeModel",
+    "LinearLeastSquares",
+    "MeasurementHistory",
+    "Mode",
+    "Scenario",
+    "TransactOverheadModel",
+    "app_time",
+    "async_epoch_time",
+    "classify_scenario",
+    "gpu_transfer_microbench",
+    "io_time",
+    "memcpy_microbench",
+    "pearson_r2",
+    "r2_score",
+    "speedup",
+    "sync_epoch_time",
+]

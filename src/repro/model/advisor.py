@@ -1,0 +1,276 @@
+"""Sync-vs-async decision making and the Fig. 2 feedback loop.
+
+The paper motivates "a transparent and adaptive asynchronous I/O
+interface to automatically enable asynchronous I/O when needed"
+(§II-B) and sketches the mechanism in Fig. 2: the high-level I/O
+library records each request's measurements into a history, estimators
+predict the next epoch's costs, and the predicted Eq. 2a vs Eq. 2b
+epoch times select the I/O mode.
+
+:class:`Advisor` is the pure decision logic; :class:`AdaptiveVOL` is
+the VOL-integrated loop — a connector that wraps a
+:class:`~repro.hdf5.native_vol.NativeVOL` and an
+:class:`~repro.hdf5.async_vol.AsyncVOL`, measures every operation and
+the computation gaps between them, and routes each write to the mode
+the model predicts to be faster.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+from repro.hdf5.dataspace import Hyperslab
+from repro.hdf5.vol import VOLConnector
+from repro.model.epoch import EpochCosts, async_epoch_time, sync_epoch_time
+from repro.model.estimators import (
+    ComputeTimeModel,
+    IORateModel,
+    TransactOverheadModel,
+)
+from repro.trace import IOLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hdf5.eventset import EventSet
+    from repro.hdf5.objects import StoredDataset, StoredFile
+    from repro.mpi.comm import RankContext
+
+__all__ = ["AdaptiveVOL", "Advisor", "Decision", "Mode"]
+
+
+class Mode(enum.Enum):
+    """The two I/O modes under comparison."""
+
+    SYNC = "sync"
+    ASYNC = "async"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One advisory outcome with its supporting predictions."""
+
+    mode: Mode
+    est_sync_epoch: float
+    est_async_epoch: float
+    costs: EpochCosts
+
+    @property
+    def predicted_speedup(self) -> float:
+        """Predicted sync/async ratio (>1 favours async)."""
+        return self.est_sync_epoch / self.est_async_epoch
+
+
+class Advisor:
+    """Chooses the I/O mode for the next epoch from model estimates.
+
+    ``margin`` adds hysteresis: async must be predicted at least
+    ``margin`` fraction faster before switching away from sync, which
+    damps flapping on noisy histories.  ``min_r2`` gates on fit quality
+    per the paper's §III-B2 criterion (r² > 0.7 = strong correlation):
+    a rate model that cannot explain its history is not trusted to
+    switch modes.
+    """
+
+    def __init__(
+        self,
+        compute_model: ComputeTimeModel,
+        io_rate_model: IORateModel,
+        transact_model: TransactOverheadModel,
+        margin: float = 0.0,
+        fallback: Mode = Mode.SYNC,
+        min_r2: float = 0.0,
+    ):
+        if margin < 0:
+            raise ValueError(f"margin must be non-negative, got {margin}")
+        if not 0.0 <= min_r2 <= 1.0:
+            raise ValueError(f"min_r2 must be in [0,1], got {min_r2}")
+        self.compute_model = compute_model
+        self.io_rate_model = io_rate_model
+        self.transact_model = transact_model
+        self.margin = margin
+        self.fallback = fallback
+        #: Fit-quality gate: the paper reads "an r² value above 70%" as a
+        #: strong linear correlation (§III-B2); below ``min_r2`` the
+        #: advisor distrusts its rate model and stays on ``fallback``.
+        self.min_r2 = min_r2
+        self.decisions: list[Decision] = []
+
+    @property
+    def ready(self) -> bool:
+        """Whether every underlying estimator has enough data."""
+        return self.compute_model.ready and self.io_rate_model.ready
+
+    def decide(self, data_size: float, nranks: int,
+               per_rank_bytes: Optional[float] = None) -> Decision:
+        """Predict both epoch times for the next I/O phase and pick a mode.
+
+        ``data_size`` is the aggregate request size (all ranks);
+        ``per_rank_bytes`` (defaulting to ``data_size/nranks``) sizes
+        the transactional copy, which happens per rank in parallel.
+        """
+        if not self.ready:
+            costs = EpochCosts(0.0, 0.0, 0.0)
+            decision = Decision(self.fallback, float("nan"), float("nan"), costs)
+            self.decisions.append(decision)
+            return decision
+        self.io_rate_model.refit()
+        if self.io_rate_model.r2 < self.min_r2:
+            costs = EpochCosts(0.0, 0.0, 0.0)
+            decision = Decision(self.fallback, float("nan"), float("nan"),
+                                costs)
+            self.decisions.append(decision)
+            return decision
+        t_comp = self.compute_model.estimate()
+        t_io = self.io_rate_model.estimate_time(data_size, nranks)
+        per_rank = per_rank_bytes if per_rank_bytes is not None else (
+            data_size / max(nranks, 1)
+        )
+        t_transact = self.transact_model.estimate(per_rank)
+        costs = EpochCosts(t_comp=t_comp, t_io=t_io, t_transact=t_transact)
+        est_sync = sync_epoch_time(costs)
+        est_async = async_epoch_time(costs)
+        mode = Mode.ASYNC if est_async * (1.0 + self.margin) < est_sync else Mode.SYNC
+        decision = Decision(mode, est_sync, est_async, costs)
+        self.decisions.append(decision)
+        return decision
+
+
+class AdaptiveVOL(VOLConnector):
+    """The Fig. 2 loop as a VOL connector.
+
+    Wraps a sync and an async connector; rank 0's decisions steer the
+    whole job (the paper's model works on aggregate quantities).  For
+    every write phase the connector:
+
+    1. measures the *computation gap* since the previous I/O call on
+       that rank and feeds the compute-time model,
+    2. asks the :class:`Advisor` for a mode (falling back to sync until
+       the history warms up),
+    3. routes the operation to the chosen connector, and
+    4. feeds the observed aggregate rate back into the history.
+    """
+
+    mode = "sync"  # records carry the delegate's own mode
+
+    def __init__(
+        self,
+        sync_vol: VOLConnector,
+        async_vol: VOLConnector,
+        advisor: Advisor,
+        nranks: int,
+        log: Optional[IOLog] = None,
+    ):
+        shared_log = log if log is not None else sync_vol.log
+        super().__init__(shared_log)
+        sync_vol.log = shared_log
+        async_vol.log = shared_log
+        self.sync_vol = sync_vol
+        self.async_vol = async_vol
+        self.advisor = advisor
+        self.nranks = nranks
+        self._last_unblocked: dict[int, float] = {}
+        #: (file path, phase) -> decided mode; one decision per I/O phase
+        #: of each file.
+        self._phase_mode: dict[tuple, Mode] = {}
+        #: Chronological ((file, phase), mode) decisions for inspection.
+        self.mode_trace: list[tuple[tuple, Mode]] = []
+
+    # -- lifecycle: open/close both delegates so either mode is usable ----
+    def file_create(self, ctx: "RankContext", stored: "StoredFile") -> Generator:
+        yield from self.sync_vol.file_create(ctx, stored)
+        yield from self.async_vol.file_create(ctx, stored)
+
+    def file_open(self, ctx: "RankContext", stored: "StoredFile") -> Generator:
+        yield from self.sync_vol.file_open(ctx, stored)
+        yield from self.async_vol.file_open(ctx, stored)
+
+    def file_flush(self, ctx: "RankContext", stored: "StoredFile") -> Generator:
+        yield from self.sync_vol.file_flush(ctx, stored)
+        yield from self.async_vol.file_flush(ctx, stored)
+
+    def file_close(self, ctx: "RankContext", stored: "StoredFile") -> Generator:
+        yield from self.async_vol.file_close(ctx, stored)
+        yield from self.sync_vol.file_close(ctx, stored)
+
+    # -- data path -----------------------------------------------------------
+    def dataset_write(
+        self,
+        ctx: "RankContext",
+        stored: "StoredDataset",
+        selection: Hyperslab,
+        data,
+        phase: Optional[int],
+        es: Optional["EventSet"],
+        from_gpu: bool = False,
+        pinned: bool = True,
+    ) -> Generator:
+        nbytes = self._nbytes(stored, selection)
+        self._observe_compute(ctx)
+        mode = self._mode_for_phase(ctx, (stored.file.path, phase), nbytes)
+        delegate = self.async_vol if mode is Mode.ASYNC else self.sync_vol
+        n_before = len(self.log.records)
+        yield from delegate.dataset_write(
+            ctx, stored, selection, data, phase, es,
+            from_gpu=from_gpu, pinned=pinned,
+        )
+        self._last_unblocked[ctx.rank] = ctx.engine.now
+        self._feed_history(n_before, nbytes)
+
+    def dataset_read(
+        self,
+        ctx: "RankContext",
+        stored: "StoredDataset",
+        selection: Hyperslab,
+        phase: Optional[int],
+        es: Optional["EventSet"],
+    ) -> Generator:
+        nbytes = self._nbytes(stored, selection)
+        self._observe_compute(ctx)
+        mode = self._mode_for_phase(ctx, (stored.file.path, phase), nbytes)
+        delegate = self.async_vol if mode is Mode.ASYNC else self.sync_vol
+        n_before = len(self.log.records)
+        result = yield from delegate.dataset_read(ctx, stored, selection, phase, es)
+        self._last_unblocked[ctx.rank] = ctx.engine.now
+        self._feed_history(n_before, nbytes)
+        return result
+
+    # -- internals --------------------------------------------------------
+    def _observe_compute(self, ctx: "RankContext") -> None:
+        """The gap since this rank's last I/O call is computation time."""
+        if ctx.rank != 0:
+            return
+        last = self._last_unblocked.get(ctx.rank)
+        if last is not None:
+            gap = ctx.engine.now - last
+            if gap > 0.0:
+                self.advisor.compute_model.observe(gap)
+
+    def _mode_for_phase(self, ctx: "RankContext", key: tuple,
+                        nbytes: float) -> Mode:
+        """One decision per (file, phase); rank 0 decides, all follow."""
+        if key in self._phase_mode:
+            return self._phase_mode[key]
+        decision = self.advisor.decide(
+            data_size=nbytes * self.nranks, nranks=self.nranks,
+            per_rank_bytes=nbytes,
+        )
+        self._phase_mode[key] = decision.mode
+        self.mode_trace.append((key, decision.mode))
+        return decision.mode
+
+    def _feed_history(self, n_before: int, nbytes: float) -> None:
+        """Push the operation's observed rate into the model history."""
+        for record in self.log.records[n_before:]:
+            rate = record.observed_rate
+            if not np.isfinite(rate) or rate <= 0:
+                continue
+            self.advisor.io_rate_model.history.record(
+                data_size=record.nbytes * self.nranks,
+                nranks=self.nranks,
+                io_rate=rate * self.nranks,
+                mode=record.mode,
+                op=record.op,
+            )

@@ -1,0 +1,123 @@
+"""The iterative-application epoch model (paper §III-A).
+
+Equations reproduced verbatim:
+
+- Eq. 1:  ``t_app = t_init + Σ t_epoch + t_term``
+- Eq. 2a: ``t_sync_epoch = t_io + t_comp``
+- Eq. 2b: ``t_async_epoch = max(t_comp, t_io - t_comp) + t_transact``
+- Eq. 3:  ``t_io = data_size / f_io_rate``
+
+Eq. 2b encodes the pipeline: during epoch *k*'s computation, the
+background thread drains epoch *k-1*'s I/O; if computation is shorter
+than I/O, the remaining ``t_io - t_comp`` stalls the next submission.
+
+Fig. 1's three scenarios fall out of the same expression:
+
+- **ideal** (1a): ``t_comp >= t_io`` — I/O fully hidden.
+- **partial** (1b): ``t_comp < t_io`` but async still wins.
+- **slowdown** (1c): ``t_comp <= t_transact`` — "no amount of overlap
+  will amortize the cost of introduced transactional overhead".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+__all__ = [
+    "EpochCosts",
+    "Scenario",
+    "app_time",
+    "async_epoch_time",
+    "classify_scenario",
+    "io_time",
+    "speedup",
+    "sync_epoch_time",
+]
+
+
+class Scenario(enum.Enum):
+    """The three Fig. 1 overlap scenarios."""
+
+    IDEAL = "ideal"
+    PARTIAL = "partial"
+    SLOWDOWN = "slowdown"
+
+
+@dataclass(frozen=True)
+class EpochCosts:
+    """The three per-epoch costs of the model."""
+
+    t_comp: float
+    t_io: float
+    t_transact: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.t_comp, self.t_io, self.t_transact) < 0:
+            raise ValueError(f"negative epoch cost in {self}")
+
+
+def io_time(data_size: float, io_rate: float) -> float:
+    """Eq. 3: ``t_io = data_size / f_io_rate``."""
+    if data_size < 0:
+        raise ValueError(f"negative data size: {data_size}")
+    if io_rate <= 0:
+        raise ValueError(f"io_rate must be positive, got {io_rate}")
+    return data_size / io_rate
+
+
+def sync_epoch_time(costs: EpochCosts) -> float:
+    """Eq. 2a: computation stalls for the full I/O phase."""
+    return costs.t_io + costs.t_comp
+
+
+def async_epoch_time(costs: EpochCosts) -> float:
+    """Eq. 2b: overlapped I/O plus the transactional overhead."""
+    return max(costs.t_comp, costs.t_io - costs.t_comp) + costs.t_transact
+
+
+def speedup(costs: EpochCosts) -> float:
+    """Predicted sync/async epoch-time ratio (>1 means async wins)."""
+    return sync_epoch_time(costs) / async_epoch_time(costs)
+
+
+def classify_scenario(costs: EpochCosts) -> Scenario:
+    """Which Fig. 1 timeline the costs correspond to."""
+    if async_epoch_time(costs) >= sync_epoch_time(costs):
+        return Scenario.SLOWDOWN
+    if costs.t_comp >= costs.t_io:
+        return Scenario.IDEAL
+    return Scenario.PARTIAL
+
+
+def app_time(
+    epochs: Union[Sequence[EpochCosts], Iterable[EpochCosts]],
+    mode: str,
+    t_init: float = 0.0,
+    t_term: float = 0.0,
+    include_final_drain: bool = False,
+) -> float:
+    """Eq. 1: total application time under ``mode`` ('sync' | 'async').
+
+    Follows the paper exactly: ``t_app = t_init + Σ t_epoch + t_term``
+    with Eq. 2a/2b epoch times.  ``include_final_drain=True`` adds the
+    residual transfer of the last asynchronous epoch (which has no
+    following computation to hide behind; ``H5Fclose`` waits for it) —
+    an effect the paper's model neglects but the simulator exhibits.
+    """
+    if mode not in ("sync", "async"):
+        raise ValueError(f"mode must be 'sync' or 'async', got {mode!r}")
+    if t_init < 0 or t_term < 0:
+        raise ValueError("t_init/t_term must be non-negative")
+    epochs = list(epochs)
+    total = t_init + t_term
+    if mode == "sync":
+        return total + sum(sync_epoch_time(c) for c in epochs)
+    for costs in epochs:
+        total += async_epoch_time(costs)
+    if include_final_drain and epochs:
+        last = epochs[-1]
+        # The last transfer overlapped only the last computation.
+        total += max(0.0, last.t_io - last.t_comp)
+    return total

@@ -1,0 +1,248 @@
+"""The three cost estimators of the empirical model (paper §III-B).
+
+- :class:`ComputeTimeModel` — "We measure the computation time directly
+  in the application and use a weighted average over the measurements
+  taken in previous iterations to estimate the computation time of the
+  next iteration."
+- :class:`TransactOverheadModel` — "We estimate the transactional
+  overhead by measuring data copy costs between different memory
+  buffers"; fitted from micro-benchmark samples as the affine time law
+  ``t(s) = s/peak + setup`` (equivalently the saturating bandwidth
+  curve), constant-bandwidth above ~32 MB.
+- :class:`IORateModel` — Eq. 4's regression of aggregate I/O rate on
+  (data size, #ranks) over the measurement history, choosing between
+  linear and linear-log features by r².
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.model.history import MeasurementHistory
+from repro.model.regression import LinearLeastSquares
+from repro.platform.memory import BandwidthCurve, MemcpySpec
+
+__all__ = ["ComputeTimeModel", "IORateModel", "LinearTrendComputeModel",
+           "TransactOverheadModel"]
+
+
+class ComputeTimeModel:
+    """Exponentially-weighted average of past computation phases.
+
+    ``estimate()`` predicts the next iteration's ``t_comp``; newer
+    observations carry more weight (decay factor per observation).
+    """
+
+    def __init__(self, decay: float = 0.7):
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0,1], got {decay}")
+        self.decay = decay
+        self._value: Optional[float] = None
+        self.n_observations = 0
+
+    def observe(self, t_comp: float) -> None:
+        """Record one measured computation phase."""
+        if t_comp < 0:
+            raise ValueError(f"negative compute time: {t_comp}")
+        if self._value is None:
+            self._value = t_comp
+        else:
+            self._value = self.decay * t_comp + (1.0 - self.decay) * self._value
+        self.n_observations += 1
+
+    def estimate(self) -> float:
+        """Predicted next computation time."""
+        if self._value is None:
+            raise RuntimeError("no compute-time observations yet")
+        return self._value
+
+    @property
+    def ready(self) -> bool:
+        """Whether at least one observation exists."""
+        return self._value is not None
+
+
+class LinearTrendComputeModel:
+    """Compute-time estimator with drift tracking.
+
+    The paper notes its weighted average "can be replaced with advanced
+    models [1], [2]" (§III-B).  This variant fits ``t_comp ~ a·k + b``
+    over the last ``window`` iterations and extrapolates one step ahead,
+    which tracks steadily growing/shrinking computation phases (e.g. AMR
+    refinement growth) far better than an EWMA that always lags.
+    Falls back to the plain mean until two observations exist.
+    """
+
+    def __init__(self, window: int = 16):
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.window = window
+        self._times: list[float] = []
+        self.n_observations = 0
+
+    def observe(self, t_comp: float) -> None:
+        """Record one measured computation phase."""
+        if t_comp < 0:
+            raise ValueError(f"negative compute time: {t_comp}")
+        self._times.append(t_comp)
+        if len(self._times) > self.window:
+            del self._times[0]
+        self.n_observations += 1
+
+    @property
+    def ready(self) -> bool:
+        """Whether at least one observation exists."""
+        return bool(self._times)
+
+    def estimate(self) -> float:
+        """Extrapolated next computation time (clamped at >= 0)."""
+        if not self._times:
+            raise RuntimeError("no compute-time observations yet")
+        n = len(self._times)
+        if n == 1:
+            return self._times[0]
+        k = np.arange(n, dtype=float)
+        fit = LinearLeastSquares(transform="linear", intercept=True).fit(
+            k.reshape(-1, 1), np.asarray(self._times)
+        )
+        predicted = float(fit.predict([[float(n)]])[0])
+        return max(0.0, predicted)
+
+
+class TransactOverheadModel:
+    """Transactional-overhead estimator from copy micro-benchmarks.
+
+    Fits ``t(s) = s/peak + setup`` by ordinary least squares on
+    (size, time) samples; ``estimate(nbytes)`` is then the predicted
+    blocking copy time, and ``bandwidth(nbytes)`` the effective rate
+    (constant above the saturation size, per §III-B1).
+    """
+
+    def __init__(self) -> None:
+        self.peak: Optional[float] = None
+        self.setup: Optional[float] = None
+        self.r2: Optional[float] = None
+
+    @classmethod
+    def from_samples(cls, sizes: Sequence[float], times: Sequence[float]
+                     ) -> "TransactOverheadModel":
+        """Fit from micro-benchmark (bytes, seconds) samples."""
+        sizes = np.asarray(sizes, dtype=float)
+        times = np.asarray(times, dtype=float)
+        if sizes.size != times.size:
+            raise ValueError("sizes and times must have the same length")
+        if sizes.size < 2:
+            raise ValueError("need at least two samples to fit")
+        model = cls()
+        fit = LinearLeastSquares(transform="linear", intercept=True).fit(
+            sizes.reshape(-1, 1), times
+        )
+        slope, intercept = float(fit.beta[0]), float(fit.beta[1])
+        if slope <= 0:
+            raise ValueError(f"non-physical fit: slope {slope} <= 0")
+        model.peak = 1.0 / slope
+        model.setup = max(0.0, intercept)
+        model.r2 = fit.r2
+        return model
+
+    @classmethod
+    def from_curve(cls, curve: BandwidthCurve) -> "TransactOverheadModel":
+        """Build directly from a known bandwidth curve (oracle variant)."""
+        model = cls()
+        model.peak = curve.peak
+        model.setup = curve.s0 / curve.peak
+        model.r2 = 1.0
+        return model
+
+    @classmethod
+    def from_memcpy_spec(cls, spec: MemcpySpec) -> "TransactOverheadModel":
+        """Oracle variant from a node's memcpy specification."""
+        return cls.from_curve(spec.per_copy)
+
+    def estimate(self, nbytes: float) -> float:
+        """Predicted blocking copy time for one ``nbytes`` request."""
+        if self.peak is None or self.setup is None:
+            raise RuntimeError("estimate() before fitting")
+        if nbytes < 0:
+            raise ValueError(f"negative size: {nbytes}")
+        return nbytes / self.peak + self.setup
+
+    def bandwidth(self, nbytes: float) -> float:
+        """Effective copy bandwidth for one ``nbytes`` request."""
+        t = self.estimate(nbytes)
+        if t <= 0.0:
+            return float("inf")
+        return nbytes / t
+
+
+class IORateModel:
+    """Eq. 4 regression of aggregate I/O rate on (data size, #ranks).
+
+    Fits both the linear and linear-log feature maps over the history
+    and keeps the better one by r² ("We found linear regression to be
+    sufficient given the accuracy of our model").
+    """
+
+    def __init__(self, history: MeasurementHistory, mode: str = "sync",
+                 op: Optional[str] = None, min_samples: int = 3):
+        if mode not in ("sync", "async"):
+            raise ValueError(f"bad mode {mode!r}")
+        if min_samples < 2:
+            raise ValueError("min_samples must be >= 2")
+        self.history = history
+        self.mode = mode
+        self.op = op
+        self.min_samples = min_samples
+        self._fit: Optional[LinearLeastSquares] = None
+
+    @property
+    def ready(self) -> bool:
+        """Whether the history holds enough samples to fit."""
+        return len(self.history.select(mode=self.mode, op=self.op)) >= self.min_samples
+
+    def refit(self) -> "IORateModel":
+        """(Re)fit against the current history; returns self."""
+        X, Y = self.history.matrices(mode=self.mode, op=self.op)
+        if X.shape[0] < self.min_samples:
+            raise RuntimeError(
+                f"need {self.min_samples} samples, history has {X.shape[0]} "
+                f"for mode={self.mode!r} op={self.op!r}"
+            )
+        candidates = []
+        for transform in ("linear", "linear-log"):
+            try:
+                fit = LinearLeastSquares(transform=transform).fit(X, Y)
+            except ValueError:
+                continue
+            candidates.append(fit)
+        if not candidates:
+            raise RuntimeError("no regression candidate could be fitted")
+        self._fit = max(candidates, key=lambda f: f.r2)
+        return self
+
+    @property
+    def r2(self) -> float:
+        """Goodness of fit of the selected regression (Eq. 5)."""
+        if self._fit is None:
+            raise RuntimeError("r2 before refit()")
+        return self._fit.r2
+
+    @property
+    def transform(self) -> str:
+        """Which feature map won: 'linear' or 'linear-log'."""
+        if self._fit is None:
+            raise RuntimeError("transform before refit()")
+        return self._fit.transform
+
+    def estimate_rate(self, data_size: float, nranks: int) -> float:
+        """Predicted aggregate I/O rate (bytes/second), floored at >0."""
+        if self._fit is None:
+            self.refit()
+        rate = float(self._fit.predict([[data_size, float(nranks)]])[0])
+        return max(rate, 1.0)
+
+    def estimate_time(self, data_size: float, nranks: int) -> float:
+        """Eq. 3: predicted I/O time for the request."""
+        return data_size / self.estimate_rate(data_size, nranks)

@@ -1,0 +1,102 @@
+"""Measurement history for the empirical model (paper Fig. 2, §III-B2).
+
+"We estimate the I/O rate based on a history of I/O requests by an
+application.  For each I/O request, we record the data size, number of
+MPI ranks, and aggregate I/O rate."  The history also receives new
+measurements as the application runs, "progressively adding new
+measurements ... for improving the accuracy of the model".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["IORateSample", "MeasurementHistory"]
+
+
+@dataclass(frozen=True)
+class IORateSample:
+    """One past I/O request: the regression's (features, response) row."""
+
+    data_size: float  # total bytes moved by the request across ranks
+    nranks: int
+    io_rate: float  # aggregate bytes/second observed
+    mode: str = "sync"  # 'sync' | 'async'
+    op: str = "write"  # 'write' | 'read'
+
+    def __post_init__(self) -> None:
+        if self.data_size <= 0:
+            raise ValueError(f"data_size must be positive, got {self.data_size}")
+        if self.nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {self.nranks}")
+        if self.io_rate <= 0:
+            raise ValueError(f"io_rate must be positive, got {self.io_rate}")
+        if self.mode not in ("sync", "async"):
+            raise ValueError(f"bad mode {self.mode!r}")
+        if self.op not in ("write", "read"):
+            raise ValueError(f"bad op {self.op!r}")
+
+
+class MeasurementHistory:
+    """Append-only store of :class:`IORateSample` with matrix views."""
+
+    def __init__(self, max_samples: Optional[int] = None):
+        if max_samples is not None and max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self.max_samples = max_samples
+        self._samples: list[IORateSample] = []
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def add(self, sample: IORateSample) -> None:
+        """Record one past I/O request (oldest evicted past the cap)."""
+        self._samples.append(sample)
+        if self.max_samples is not None and len(self._samples) > self.max_samples:
+            del self._samples[0]
+
+    def record(self, data_size: float, nranks: int, io_rate: float,
+               mode: str = "sync", op: str = "write") -> None:
+        """Convenience constructor + :meth:`add`."""
+        self.add(IORateSample(data_size, nranks, io_rate, mode=mode, op=op))
+
+    def select(self, mode: Optional[str] = None, op: Optional[str] = None
+               ) -> list[IORateSample]:
+        """Samples matching the given mode/op filters."""
+        out = self._samples
+        if mode is not None:
+            out = [s for s in out if s.mode == mode]
+        if op is not None:
+            out = [s for s in out if s.op == op]
+        return list(out)
+
+    def matrices(self, mode: Optional[str] = None, op: Optional[str] = None
+                 ) -> tuple[np.ndarray, np.ndarray]:
+        """The paper's (X, Y): X = [data_size, nranks] rows, Y = io_rate."""
+        samples = self.select(mode=mode, op=op)
+        if not samples:
+            return np.empty((0, 2)), np.empty((0,))
+        X = np.array([[s.data_size, float(s.nranks)] for s in samples])
+        Y = np.array([s.io_rate for s in samples])
+        return X, Y
+
+    def best_rate(self, data_size: float, nranks: int,
+                  mode: Optional[str] = None, op: Optional[str] = None,
+                  rel_tol: float = 0.25) -> Optional[float]:
+        """Best observed rate at (approximately) this configuration.
+
+        The paper models "the ideal case performance (i.e., the maximum
+        aggregate I/O bandwidth achieved)" (§V-C); this helper returns
+        the max over samples within ``rel_tol`` of the requested size
+        and rank count, or ``None`` if nothing matches.
+        """
+        rates = [
+            s.io_rate
+            for s in self.select(mode=mode, op=op)
+            if abs(s.data_size - data_size) <= rel_tol * data_size
+            and abs(s.nranks - nranks) <= rel_tol * nranks
+        ]
+        return max(rates) if rates else None

@@ -1,0 +1,81 @@
+"""Micro-benchmarks calibrating the transactional-overhead model (§III-B1).
+
+"We measured the bandwidth of a memcpy transfer with varying sizes of
+data on a single node on both systems using a micro-benchmark."  Each
+function runs a tiny standalone simulation on one node of the given
+machine and returns (size, time, bandwidth) samples, from which
+:class:`~repro.model.estimators.TransactOverheadModel` is fitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.sim.engine import Engine
+from repro.platform.cluster import Cluster
+from repro.platform.spec import MachineSpec
+
+__all__ = ["MicrobenchSample", "gpu_transfer_microbench", "memcpy_microbench"]
+
+MiB = float(1 << 20)
+
+#: Default size sweep: 1 MiB .. 512 MiB in powers of two.
+DEFAULT_SIZES = tuple(2**k * MiB for k in range(0, 10))
+
+
+@dataclass(frozen=True)
+class MicrobenchSample:
+    """One measured copy: request size, elapsed time, effective rate."""
+
+    nbytes: float
+    seconds: float
+    bandwidth: float
+
+
+def memcpy_microbench(
+    machine: MachineSpec, sizes: Sequence[float] = DEFAULT_SIZES
+) -> list[MicrobenchSample]:
+    """Single-node host memcpy sweep on ``machine``."""
+    return _sweep(machine, sizes, kind="memcpy")
+
+
+def gpu_transfer_microbench(
+    machine: MachineSpec,
+    sizes: Sequence[float] = DEFAULT_SIZES,
+    pinned: bool = True,
+) -> list[MicrobenchSample]:
+    """Single-node device↔host copy sweep (pinned or pageable)."""
+    if machine.node.gpu_link is None:
+        raise ValueError(f"machine {machine.name!r} has no GPUs")
+    return _sweep(machine, sizes, kind="gpu", pinned=pinned)
+
+
+def _sweep(machine: MachineSpec, sizes: Sequence[float], kind: str,
+           pinned: bool = True) -> list[MicrobenchSample]:
+    samples: list[MicrobenchSample] = []
+    for nbytes in sizes:
+        if nbytes <= 0:
+            raise ValueError(f"non-positive microbench size: {nbytes}")
+        engine = Engine()
+        cluster = Cluster(engine, machine, nodes=1)
+        node = cluster.nodes[0]
+
+        def copy_once():
+            t0 = engine.now
+            if kind == "memcpy":
+                flow = cluster.memcpy(node, nbytes)
+            else:
+                flow = cluster.gpu_transfer(node, nbytes, pinned=pinned)
+            yield flow
+            return engine.now - t0
+
+        elapsed = engine.run_process(copy_once())
+        samples.append(
+            MicrobenchSample(
+                nbytes=float(nbytes),
+                seconds=elapsed,
+                bandwidth=float(nbytes) / elapsed if elapsed > 0 else float("inf"),
+            )
+        )
+    return samples

@@ -1,0 +1,132 @@
+"""Linear least squares and goodness-of-fit (paper Eq. 4 & 5).
+
+The paper fits the aggregate I/O rate against (data size, #MPI ranks)
+with plain linear algebra — "instead of using nonlinear regression
+methods, we apply linear regression and linear-log regression to
+estimate model parameters analytically" (§III-B2):
+
+``y_i = β0·x_{i,0} + β1·x_{i,1}``  with  ``β = (XᵀX)⁻¹XᵀY``  (Eq. 4)
+
+The *linear-log* variant applies ``log`` to the features first, which
+captures the saturating weak-scaling shape of synchronous writes
+(Fig. 3's dotted lines).  Fit quality is judged with the coefficient of
+determination (Eq. 5); the paper reads r² > 70% as a strong linear
+correlation, observing >80% for sync and >90% for async.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["LinearLeastSquares", "pearson_r2", "r2_score"]
+
+_TRANSFORMS = ("linear", "linear-log")
+
+
+class LinearLeastSquares:
+    """Normal-equation least squares over raw or log-transformed features.
+
+    Parameters
+    ----------
+    transform:
+        ``"linear"`` uses features as-is; ``"linear-log"`` maps every
+        feature through ``log`` (features must then be positive).
+    intercept:
+        Eq. 4 has no intercept; set ``True`` to append a constant
+        column (useful for the micro-benchmark time fits, where the
+        intercept *is* the per-op setup cost).
+    """
+
+    def __init__(self, transform: str = "linear", intercept: bool = False):
+        if transform not in _TRANSFORMS:
+            raise ValueError(
+                f"transform must be one of {_TRANSFORMS}, got {transform!r}"
+            )
+        self.transform = transform
+        self.intercept = intercept
+        self.beta: Optional[np.ndarray] = None
+        self._r2: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def _design(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if self.transform == "linear-log":
+            if np.any(X <= 0):
+                raise ValueError("linear-log transform requires positive features")
+            X = np.log(X)
+        if self.intercept:
+            X = np.hstack([X, np.ones((X.shape[0], 1))])
+        return X
+
+    def fit(self, X, y) -> "LinearLeastSquares":
+        """Solve ``β = (XᵀX)⁻¹XᵀY`` (via lstsq for numerical stability)."""
+        y = np.asarray(y, dtype=float).ravel()
+        D = self._design(X)
+        if D.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"X has {D.shape[0]} rows but y has {y.shape[0]} entries"
+            )
+        if D.shape[0] < D.shape[1]:
+            raise ValueError(
+                f"need at least {D.shape[1]} samples, got {D.shape[0]}"
+            )
+        self.beta, *_ = np.linalg.lstsq(D, y, rcond=None)
+        self._r2 = r2_score(y, D @ self.beta)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predicted responses for feature rows ``X``."""
+        if self.beta is None:
+            raise RuntimeError("predict() before fit()")
+        return self._design(X) @ self.beta
+
+    @property
+    def r2(self) -> float:
+        """Coefficient of determination on the training data (Eq. 5)."""
+        if self._r2 is None:
+            raise RuntimeError("r2 unavailable before fit()")
+        return self._r2
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<LinearLeastSquares {self.transform} beta="
+            f"{None if self.beta is None else np.round(self.beta, 4)}>"
+        )
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Standard coefficient of determination ``1 - SS_res/SS_tot``.
+
+    Equals Eq. 5's ``Cov(X,Y)²/(Var(X)Var(Y))`` for a simple linear fit
+    with intercept, and generalizes it to the multivariate fits used
+    here.  Returns 1.0 for a perfect fit of constant data.
+    """
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch between y_true and y_pred")
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def pearson_r2(x, y) -> float:
+    """Eq. 5 verbatim: ``Cov(X,Y)² / (Var(X)·Var(Y))`` for 1-D data."""
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same length")
+    if x.size < 2:
+        raise ValueError("need at least two samples")
+    vx = float(np.var(x))
+    vy = float(np.var(y))
+    if vx == 0.0 or vy == 0.0:
+        return 0.0
+    cov = float(np.mean((x - x.mean()) * (y - y.mean())))
+    return cov * cov / (vx * vy)

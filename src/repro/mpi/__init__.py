@@ -1,0 +1,16 @@
+"""Simulated MPI runtime.
+
+Ranks are cooperative coroutines on the discrete-event engine; a
+:class:`~repro.mpi.job.MPIJob` places them on cluster nodes (block
+placement, as batch schedulers on Summit/Cori allocate whole nodes) and
+runs one *program* generator per rank.  Collectives follow a LogP-style
+``alpha·⌈log2 p⌉ + bytes/beta`` cost model
+(:mod:`repro.mpi.costmodel`).
+"""
+
+from repro.mpi.comm import Communicator, RankContext, Request
+from repro.mpi.costmodel import CollectiveCostModel
+from repro.mpi.job import MPIJob
+
+__all__ = ["CollectiveCostModel", "Communicator", "MPIJob", "RankContext",
+           "Request"]

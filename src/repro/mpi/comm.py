@@ -1,0 +1,222 @@
+"""Communicators and per-rank execution contexts.
+
+A :class:`Communicator` coordinates a fixed set of ranks: collectives
+are modeled as *synchronize, then pay the closed-form cost* — every
+participant blocks until the last rank arrives (the paper's "the MPI
+process taking the longest time determines the I/O time" applies the
+same way to collective completion), then all resume after the modeled
+collective time.
+
+A :class:`RankContext` is what workload programs receive: it knows its
+rank, node and communicator, and exposes ``compute(seconds)`` — the
+paper's computation phase (a sleep in the I/O kernels, §IV-B) — plus
+convenience accessors for the cluster's data-movement primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.engine import Engine, SimEvent
+from repro.sim.primitives import Barrier
+from repro.mpi.costmodel import CollectiveCostModel
+from repro.platform.cluster import Cluster, Node
+
+__all__ = ["Communicator", "RankContext", "Request"]
+
+
+class Request:
+    """Handle for a non-blocking point-to-point operation (MPI_Request).
+
+    ``yield request`` (or :meth:`wait`) blocks until the operation
+    completes; for receives the value of the yield is the message.
+    """
+
+    __slots__ = ("done",)
+
+    def __init__(self, done: SimEvent):
+        self.done = done
+
+    @property
+    def complete(self) -> bool:
+        """Non-blocking completion test (MPI_Test)."""
+        return self.done.triggered
+
+    def wait(self) -> SimEvent:
+        """The waitable to ``yield`` (MPI_Wait)."""
+        return self.done
+
+    def _as_event(self, engine: Engine) -> SimEvent:
+        return self.done
+
+
+class Communicator:
+    """A group of ranks with synchronizing collectives."""
+
+    def __init__(self, engine: Engine, size: int, cost: CollectiveCostModel,
+                 name: str = "comm_world"):
+        if size < 1:
+            raise ValueError(f"communicator size must be >= 1, got {size}")
+        self.engine = engine
+        self.size = size
+        self.cost = cost
+        self.name = name
+        self._barrier = Barrier(engine, parties=size, name=f"{name}.barrier")
+        #: Root's contribution collected by :meth:`gather` per generation.
+        self._gather_slots: dict[int, list[Any]] = {}
+        #: (src, dst, tag) -> queued unmatched sends (value, nbytes, event).
+        self._mailbox: dict[tuple, list] = {}
+        #: (src, dst, tag) -> queued unmatched receives (event).
+        self._pending_recv: dict[tuple, list] = {}
+
+    # Each collective is a generator the rank must ``yield from``.
+    def barrier(self) -> Generator:
+        """Block until every rank arrives, then pay the barrier latency."""
+        yield self._barrier.wait()
+        yield self.engine.timeout(self.cost.barrier(self.size))
+
+    def bcast(self, value: Any, root: int, rank: int,
+              nbytes: float = 0.0) -> Generator:
+        """Broadcast ``value`` from ``root``; all ranks return it.
+
+        Implemented as a gather-to-slot + synchronized release, which
+        keeps values consistent without modeling individual messages.
+        """
+        generation = yield from self._exchange(rank, value if rank == root else None)
+        yield self.engine.timeout(self.cost.bcast(self.size, nbytes))
+        values = self._gather_slots[generation]
+        result = next(v for v in values if v is not None) if any(
+            v is not None for v in values
+        ) else None
+        self._maybe_free(generation)
+        return result
+
+    def gather(self, value: Any, rank: int, nbytes_per_rank: float = 0.0
+               ) -> Generator:
+        """Gather one value per rank; every rank returns the full list."""
+        generation = yield from self._exchange(rank, value)
+        yield self.engine.timeout(self.cost.gather(self.size, nbytes_per_rank))
+        values = list(self._gather_slots[generation])
+        self._maybe_free(generation)
+        return values
+
+    def allreduce(self, value: float, rank: int, op=sum,
+                  nbytes: float = 8.0) -> Generator:
+        """Reduce scalar contributions with ``op``; all ranks get the result."""
+        generation = yield from self._exchange(rank, value)
+        yield self.engine.timeout(self.cost.allreduce(self.size, nbytes))
+        result = op(self._gather_slots[generation])
+        self._maybe_free(generation)
+        return result
+
+    def allmax(self, value: float, rank: int) -> Generator:
+        """Convenience max-allreduce (used for I/O phase timing)."""
+        result = yield from self.allreduce(value, rank, op=max)
+        return result
+
+    # -- point-to-point ----------------------------------------------------
+    def isend(self, value: Any, dest: int, rank: int, tag: int = 0,
+              nbytes: float = 0.0) -> Request:
+        """Non-blocking send (MPI_Isend); completes when matched+delivered."""
+        self._check_rank(dest)
+        self._check_rank(rank)
+        key = (rank, dest, tag)
+        done = self.engine.event(name=f"{self.name}.isend{key}")
+        waiting = self._pending_recv.get(key)
+        if waiting:
+            recv_done = waiting.pop(0)
+            delay = self.cost.point_to_point(nbytes)
+            done.succeed(delay=delay)
+            recv_done.succeed(value, delay=delay)
+        else:
+            self._mailbox.setdefault(key, []).append((value, nbytes, done))
+        return Request(done)
+
+    def irecv(self, source: int, rank: int, tag: int = 0) -> Request:
+        """Non-blocking receive (MPI_Irecv); the wait yields the message."""
+        self._check_rank(source)
+        self._check_rank(rank)
+        key = (source, rank, tag)
+        done = self.engine.event(name=f"{self.name}.irecv{key}")
+        queued = self._mailbox.get(key)
+        if queued:
+            value, nbytes, send_done = queued.pop(0)
+            delay = self.cost.point_to_point(nbytes)
+            send_done.succeed(delay=delay)
+            done.succeed(value, delay=delay)
+        else:
+            self._pending_recv.setdefault(key, []).append(done)
+        return Request(done)
+
+    def send(self, value: Any, dest: int, rank: int, tag: int = 0,
+             nbytes: float = 0.0) -> Generator:
+        """Blocking send (MPI_Send, rendezvous semantics)."""
+        yield self.isend(value, dest, rank, tag=tag, nbytes=nbytes)
+
+    def recv(self, source: int, rank: int, tag: int = 0) -> Generator:
+        """Blocking receive (MPI_Recv); returns the message."""
+        value = yield self.irecv(source, rank, tag=tag)
+        return value
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside communicator of {self.size}")
+
+    # ------------------------------------------------------------------
+    def _exchange(self, rank: int, value: Any) -> Generator:
+        """Deposit ``value``, wait for all ranks; returns the generation."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside communicator of {self.size}")
+        generation = self._barrier.generation
+        slot = self._gather_slots.setdefault(generation, [None] * self.size)
+        slot[rank] = value
+        gen = yield self._barrier.wait()
+        return gen
+
+    def _maybe_free(self, generation: int) -> None:
+        # Slots are tiny; free aggressively once a later generation exists.
+        stale = [g for g in self._gather_slots if g < generation]
+        for g in stale:
+            del self._gather_slots[g]
+
+
+class RankContext:
+    """Everything one rank's program needs."""
+
+    def __init__(self, rank: int, comm: Communicator, node: Node,
+                 cluster: Cluster):
+        self.rank = rank
+        self.comm = comm
+        self.node = node
+        self.cluster = cluster
+        self.engine = cluster.engine
+        #: Wall-clock (simulated) moments of interest, fillable by programs.
+        self.marks: dict[str, float] = {}
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self.comm.size
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.engine.now
+
+    def compute(self, seconds: float):
+        """The computation phase: a pure delay (paper replaces compute
+        with sleeps in the I/O kernels, §IV-B)."""
+        if seconds < 0:
+            raise ValueError(f"negative compute time: {seconds}")
+        return self.engine.timeout(seconds)
+
+    def barrier(self) -> Generator:
+        """Synchronize all ranks of the communicator."""
+        return self.comm.barrier()
+
+    def mark(self, label: str) -> None:
+        """Record the current simulated time under ``label``."""
+        self.marks[label] = self.engine.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RankContext rank={self.rank}/{self.size} node={self.node.index}>"

@@ -1,0 +1,62 @@
+"""Simulated HPC platform: machines, memory, storage, contention.
+
+This package encodes the *system configuration* facts of the paper's
+§IV-A — Summit (IBM POWER9 + GPFS "Alpine" at 2.5 TB/s, NVLink 2.0,
+1.6 TB node-local NVMe) and Cori-Haswell (Cray XC40 + Lustre at
+700 GB/s, 72-OST ``stripe_large``, burst buffer at 1.7 TB/s) — as
+machine specifications, and builds them into live simulation objects
+(:class:`~repro.platform.cluster.Cluster`) composed of links, storage
+models and a contention process.
+"""
+
+from repro.platform.cluster import Cluster, Node
+from repro.platform.contention import ContentionModel, ContentionProcess
+from repro.platform.machines import (
+    cori_haswell,
+    exascale_testbed,
+    summit,
+    testbed,
+)
+from repro.platform.memory import BandwidthCurve, GpuLinkSpec, MemcpySpec
+from repro.platform.spec import (
+    FileSystemSpec,
+    InterconnectSpec,
+    MachineSpec,
+    NodeSpec,
+    SSDSpec,
+)
+from repro.platform.storage import (
+    BurstBuffer,
+    FileTarget,
+    GPFSModel,
+    LustreModel,
+    NodeLocalSSD,
+    ParallelFileSystem,
+    make_filesystem,
+)
+
+__all__ = [
+    "BandwidthCurve",
+    "BurstBuffer",
+    "Cluster",
+    "ContentionModel",
+    "ContentionProcess",
+    "FileSystemSpec",
+    "FileTarget",
+    "GPFSModel",
+    "GpuLinkSpec",
+    "InterconnectSpec",
+    "LustreModel",
+    "MachineSpec",
+    "MemcpySpec",
+    "Node",
+    "NodeLocalSSD",
+    "NodeSpec",
+    "ParallelFileSystem",
+    "SSDSpec",
+    "cori_haswell",
+    "exascale_testbed",
+    "make_filesystem",
+    "summit",
+    "testbed",
+]

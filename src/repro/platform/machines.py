@@ -1,0 +1,246 @@
+"""Machine presets calibrated from the paper's §IV-A.
+
+Absolute numbers follow the published system configurations where the
+paper states them (GPFS 2.5 TB/s, Lustre 700 GB/s, 72-OST
+``stripe_large``, NVLink 2.0 at 50 GB/s, PCIe 3.0 at 15.75 GB/s,
+6 ranks/node on Summit, 32 ranks/node on Cori-Haswell) and public
+system documentation otherwise (per-node injection bandwidth, node-local
+NVMe).  Only the *shapes* of the resulting curves are validated against
+the paper (see DESIGN.md §4); see EXPERIMENTS.md for the comparison.
+"""
+
+from __future__ import annotations
+
+from repro.platform.memory import (
+    NVLINK2_PEAK,
+    PCIE3_PEAK,
+    BandwidthCurve,
+    GpuLinkSpec,
+    MemcpySpec,
+)
+from repro.platform.spec import (
+    FileSystemSpec,
+    InterconnectSpec,
+    MachineSpec,
+    NodeSpec,
+    SSDSpec,
+)
+
+__all__ = ["cori_haswell", "exascale_testbed", "summit", "testbed"]
+
+GB = 1e9
+TB = 1e12
+MiB = float(1 << 20)
+
+
+def summit() -> MachineSpec:
+    """OLCF Summit: 4,608 nodes, GPFS "Alpine" at 2.5 TB/s peak.
+
+    Calibration notes:
+
+    - 2× POWER9 (22 cores each) + 6 V100, NVLink 2.0 (50 GB/s) to GPUs,
+      1.6 TB node-local NVMe — all from §IV-A / §II.
+    - Per-node injection: dual-rail EDR InfiniBand, 25 GB/s.  With the
+      size-dependent GPFS client efficiency this saturates the 2.5 TB/s
+      Alpine ceiling at roughly 128 nodes for 32 MiB requests, matching
+      Fig. 3a's "synchronous bandwidth saturates at 768 ranks (128
+      nodes)".
+    - Host memcpy: single-stream ~10 GB/s saturating at 32 MiB
+      (paper §III-B1), ~48 GB/s per-node aggregate; 6 ranks/node give
+      each staging copy a constant ~8 GB/s share, which is what makes
+      the async aggregate bandwidth scale linearly in Fig. 3a.
+    """
+    node = NodeSpec(
+        name="summit-node",
+        cores=44,
+        memcpy=MemcpySpec(
+            per_copy=BandwidthCurve.from_saturation(
+                peak=10.0 * GB, saturation_size=32 * MiB
+            ),
+            node_aggregate=48.0 * GB,
+        ),
+        nic_bandwidth=25.0 * GB,
+        gpus=6,
+        gpu_link=GpuLinkSpec(link_peak=NVLINK2_PEAK),
+        local_ssd=SSDSpec(
+            capacity_bytes=1.6e12,
+            write_bandwidth=2.1 * GB,
+            read_bandwidth=5.5 * GB,
+        ),
+        dram_bytes=512e9,
+    )
+    fs = FileSystemSpec(
+        kind="gpfs",
+        peak_bandwidth=2.5 * TB,
+        efficiency_s0=8 * MiB,
+        metadata_latency=3e-3,
+        # GPFS allocates storage resources reactively; many concurrent
+        # small requests serialize on block allocation, which is what
+        # drags the strong-scaling aggregate bandwidth *down* (Fig. 4a/4c).
+        client_latency_penalty=5e-6,
+        client_floor_rate=25e6,
+    )
+    return MachineSpec(
+        name="summit",
+        total_nodes=4608,
+        node=node,
+        filesystem=fs,
+        interconnect=InterconnectSpec(alpha=1.5e-6, beta=12.5 * GB),
+        default_ranks_per_node=6,
+    )
+
+
+def cori_haswell() -> MachineSpec:
+    """NERSC Cori-Haswell: 2,388 nodes, Lustre at 700 GB/s peak.
+
+    Calibration notes:
+
+    - 32 ranks/node (paper §V-A), Aries interconnect.
+    - The paper follows NERSC best practice: 72 OSTs (``stripe_large``)
+      for every run.  With ~2.9 GB/s per OST a 72-stripe file tops out
+      near 208 GB/s; per-node injection ~6.5 GB/s then saturates that
+      ceiling around 32 nodes = 1024 ranks, matching Fig. 3b.
+    - Host memcpy: single-stream ~6 GB/s, ~25 GB/s per-node aggregate;
+      32 ranks/node share it, so per-rank staging bandwidth (~0.8 GB/s)
+      is the async ceiling — visibly lower per rank than Summit, which
+      is why small-request workloads (Nyx small, Fig. 4b) stop scaling.
+    - Burst buffer: 1.7 TB/s (§IV-A), exposed for the staging-target
+      ablation.
+    """
+    node = NodeSpec(
+        name="cori-haswell-node",
+        cores=32,
+        memcpy=MemcpySpec(
+            per_copy=BandwidthCurve.from_saturation(
+                peak=6.0 * GB, saturation_size=32 * MiB
+            ),
+            node_aggregate=25.0 * GB,
+        ),
+        nic_bandwidth=6.5 * GB,
+        gpus=0,
+        gpu_link=None,
+        local_ssd=None,
+        dram_bytes=128e9,
+    )
+    fs = FileSystemSpec(
+        kind="lustre",
+        peak_bandwidth=700.0 * GB,
+        efficiency_s0=4 * MiB,
+        metadata_latency=2e-3,
+        # Lustre clients keep their RPC pipelines busy even for small
+        # requests (floor), and its distributed lock manager serializes
+        # far less than GPFS block allocation (small penalty) — so
+        # strong-scaling aggregate bandwidth *grows* until the stripe
+        # ceiling binds (Fig. 4d).
+        client_latency_penalty=0.3e-6,
+        client_floor_rate=100e6,
+        n_osts=248,
+        ost_bandwidth=2.9 * GB,
+        default_stripe_count=72,
+    )
+    return MachineSpec(
+        name="cori-haswell",
+        total_nodes=2388,
+        node=node,
+        filesystem=fs,
+        interconnect=InterconnectSpec(alpha=1.3e-6, beta=10.0 * GB),
+        default_ranks_per_node=32,
+        burst_buffer_bandwidth=1.7 * TB,
+    )
+
+
+def exascale_testbed(nodes: int = 64) -> MachineSpec:
+    """A forward-looking three-tier machine (paper §I outlook).
+
+    "Upcoming exascale computing architectures are expected to contain a
+    fast node-local storage layer, a high performance storage layer, and
+    a high capacity storage layer."  This preset wires all three: per-
+    node NVMe (fast local tier), a shared flash burst buffer (high
+    performance tier) and a large disk-backed PFS (capacity tier), with
+    node counts kept modest so exploratory simulations stay cheap.
+    Numbers loosely follow Frontier-class public specifications.
+    """
+    node = NodeSpec(
+        name="exascale-node",
+        cores=64,
+        memcpy=MemcpySpec(
+            per_copy=BandwidthCurve.from_saturation(
+                peak=20.0 * GB, saturation_size=32 * MiB
+            ),
+            node_aggregate=100.0 * GB,
+        ),
+        nic_bandwidth=50.0 * GB,
+        gpus=4,
+        gpu_link=GpuLinkSpec(link_peak=100.0 * GB,  # Infinity-Fabric class
+                             saturation_size=10 * MiB),
+        local_ssd=SSDSpec(
+            capacity_bytes=3.84e12,
+            write_bandwidth=4.0 * GB,
+            read_bandwidth=8.0 * GB,
+        ),
+        dram_bytes=512e9,
+    )
+    fs = FileSystemSpec(
+        kind="lustre",
+        peak_bandwidth=5.0 * TB,  # capacity tier (Orion-class, HDD+flash)
+        efficiency_s0=8 * MiB,
+        metadata_latency=1.5e-3,
+        client_latency_penalty=1e-6,
+        client_floor_rate=200e6,
+        n_osts=450,
+        ost_bandwidth=11.0 * GB,
+        default_stripe_count=8,
+    )
+    return MachineSpec(
+        name="exascale-testbed",
+        total_nodes=nodes,
+        node=node,
+        filesystem=fs,
+        interconnect=InterconnectSpec(alpha=1.0e-6, beta=25.0 * GB),
+        default_ranks_per_node=8,
+        burst_buffer_bandwidth=10.0 * TB,  # performance tier
+    )
+
+
+def testbed(
+    nodes: int = 8,
+    ranks_per_node: int = 4,
+    pfs_peak: float = 40.0 * GB,
+    nic: float = 10.0 * GB,
+) -> MachineSpec:
+    """A small fictional machine for tests and quickstart examples.
+
+    Keeps simulations tiny while preserving the same qualitative
+    behaviour (per-node NIC, shared PFS ceiling, size-dependent client
+    efficiency).
+    """
+    node = NodeSpec(
+        name="testbed-node",
+        cores=ranks_per_node,
+        memcpy=MemcpySpec(
+            per_copy=BandwidthCurve.from_saturation(
+                peak=8.0 * GB, saturation_size=32 * MiB
+            ),
+            node_aggregate=30.0 * GB,
+        ),
+        nic_bandwidth=nic,
+        gpus=1,
+        gpu_link=GpuLinkSpec(link_peak=PCIE3_PEAK),
+        local_ssd=SSDSpec(
+            capacity_bytes=1e12, write_bandwidth=2.0 * GB, read_bandwidth=3.5 * GB
+        ),
+        dram_bytes=64e9,
+    )
+    fs = FileSystemSpec(
+        kind="gpfs",
+        peak_bandwidth=pfs_peak,
+        efficiency_s0=4 * MiB,
+        metadata_latency=1e-3,
+    )
+    return MachineSpec(
+        name="testbed",
+        total_nodes=nodes,
+        node=node,
+        filesystem=fs,
+        default_ranks_per_node=ranks_per_node,
+    )

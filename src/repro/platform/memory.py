@@ -1,0 +1,137 @@
+"""Memory-copy bandwidth models (paper §III-B1).
+
+The paper measures two kinds of transactional overhead:
+
+- **CPU applications**: a ``memcpy`` between two host buffers.  The
+  measured bandwidth is "constant after 32 MB"; below that the per-copy
+  setup cost matters.
+- **GPU applications**: a blocking device↔host copy.  The cost is
+  "amortized for data sizes greater than 10 MB"; with pinned host
+  memory the peak approaches the link's theoretical maximum (NVLink 2.0:
+  50 GB/s on Summit; PCIe 3.0 x16: 15.75 GB/s elsewhere), while pageable
+  memory pays an extra bounce-buffer copy.
+
+Both are captured by a saturating :class:`BandwidthCurve`
+``B(s) = peak * s / (s + s0)`` whose half-saturation size ``s0`` is
+derived from the size at which the curve reaches a target fraction of
+peak (95% by default), matching the "constant after X MB" observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BandwidthCurve", "GpuLinkSpec", "MemcpySpec"]
+
+MiB = float(1 << 20)
+GiB = float(1 << 30)
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class BandwidthCurve:
+    """Saturating effective-bandwidth curve ``B(s) = peak*s/(s+s0)``.
+
+    ``peak`` is the asymptotic bandwidth in bytes/second; ``s0`` the
+    half-saturation transfer size in bytes (at ``s = s0`` the effective
+    bandwidth is half of peak).
+    """
+
+    peak: float
+    s0: float
+
+    def __post_init__(self) -> None:
+        if self.peak <= 0:
+            raise ValueError(f"peak must be positive, got {self.peak}")
+        if self.s0 < 0:
+            raise ValueError(f"s0 must be non-negative, got {self.s0}")
+
+    @classmethod
+    def from_saturation(
+        cls, peak: float, saturation_size: float, fraction: float = 0.95
+    ) -> "BandwidthCurve":
+        """Build a curve that reaches ``fraction`` of peak at ``saturation_size``.
+
+        Solving ``peak*s/(s+s0) = fraction*peak`` gives
+        ``s0 = s*(1-fraction)/fraction``.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0,1), got {fraction}")
+        if saturation_size <= 0:
+            raise ValueError("saturation_size must be positive")
+        return cls(peak=peak, s0=saturation_size * (1.0 - fraction) / fraction)
+
+    def bandwidth(self, nbytes: float) -> float:
+        """Effective bandwidth in bytes/second for a transfer of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"negative size: {nbytes}")
+        if nbytes == 0.0:
+            return 0.0
+        return self.peak * nbytes / (nbytes + self.s0)
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Blocking time in seconds: ``s/B(s) = (s + s0)/peak``."""
+        if nbytes < 0:
+            raise ValueError(f"negative size: {nbytes}")
+        if nbytes == 0.0:
+            return 0.0
+        return (nbytes + self.s0) / self.peak
+
+
+@dataclass(frozen=True)
+class MemcpySpec:
+    """Host memory-copy characteristics of a node.
+
+    ``per_copy`` bounds a single copy stream (one rank's staging copy);
+    ``node_aggregate`` bounds all concurrent copies on the node (the
+    DRAM controller).  The paper's "constant after 32 MB" observation
+    fixes the default saturation size.
+    """
+
+    per_copy: BandwidthCurve = field(
+        default_factory=lambda: BandwidthCurve.from_saturation(
+            peak=8.0 * GB, saturation_size=32 * MiB
+        )
+    )
+    node_aggregate: float = 40.0 * GB
+
+    def __post_init__(self) -> None:
+        if self.node_aggregate <= 0:
+            raise ValueError("node_aggregate must be positive")
+
+
+@dataclass(frozen=True)
+class GpuLinkSpec:
+    """Device↔host transfer characteristics (paper §III-B1).
+
+    ``pinned`` approaches the link's theoretical peak; ``pageable_factor``
+    is the bandwidth fraction achieved without pinning (extra bounce
+    copy through a DMA-able buffer).  Amortized above ~10 MB.
+    """
+
+    link_peak: float = 50.0 * GB  # NVLink 2.0 (Summit)
+    pageable_factor: float = 0.45
+    saturation_size: float = 10 * MiB
+
+    def __post_init__(self) -> None:
+        if self.link_peak <= 0:
+            raise ValueError("link_peak must be positive")
+        if not 0.0 < self.pageable_factor <= 1.0:
+            raise ValueError("pageable_factor must be in (0,1]")
+
+    def curve(self, pinned: bool = True) -> BandwidthCurve:
+        """Effective-bandwidth curve for a pinned or pageable copy."""
+        peak = self.link_peak if pinned else self.link_peak * self.pageable_factor
+        return BandwidthCurve.from_saturation(
+            peak=peak, saturation_size=self.saturation_size
+        )
+
+    def transfer_time(self, nbytes: float, pinned: bool = True) -> float:
+        """Blocking device↔host copy time in seconds."""
+        return self.curve(pinned).transfer_time(nbytes)
+
+
+#: PCIe 3.0 x16 theoretical peak cited in the paper.
+PCIE3_PEAK = 15.75 * GB
+#: NVLink 2.0 theoretical peak cited in the paper (Summit).
+NVLINK2_PEAK = 50.0 * GB

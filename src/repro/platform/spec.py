@@ -1,0 +1,157 @@
+"""Frozen machine-description dataclasses.
+
+Specs are pure data: they can be constructed, compared and serialized
+without an engine.  :class:`~repro.platform.cluster.Cluster` turns a
+:class:`MachineSpec` into live simulation objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.platform.memory import GpuLinkSpec, MemcpySpec
+
+__all__ = [
+    "FileSystemSpec",
+    "InterconnectSpec",
+    "MachineSpec",
+    "NodeSpec",
+    "SSDSpec",
+]
+
+GB = 1e9
+MiB = float(1 << 20)
+
+
+@dataclass(frozen=True)
+class SSDSpec:
+    """Node-local SSD (e.g. Summit's 1.6 TB NVMe burst drive)."""
+
+    capacity_bytes: float
+    write_bandwidth: float
+    read_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if min(self.capacity_bytes, self.write_bandwidth, self.read_bandwidth) <= 0:
+            raise ValueError("SSD parameters must be positive")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A compute node: cores, memory behaviour, NIC and optional extras."""
+
+    name: str
+    cores: int
+    memcpy: MemcpySpec = field(default_factory=MemcpySpec)
+    #: Injection bandwidth from this node toward the storage network, B/s.
+    nic_bandwidth: float = 12.5 * GB
+    gpus: int = 0
+    gpu_link: Optional[GpuLinkSpec] = None
+    local_ssd: Optional[SSDSpec] = None
+    dram_bytes: float = 256e9
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("node needs at least one core")
+        if self.nic_bandwidth <= 0:
+            raise ValueError("nic_bandwidth must be positive")
+        if self.gpus and self.gpu_link is None:
+            raise ValueError("GPU-equipped node requires a gpu_link spec")
+
+
+@dataclass(frozen=True)
+class FileSystemSpec:
+    """Shared parallel file system characteristics.
+
+    ``kind`` selects the concrete model (:mod:`repro.platform.storage`):
+
+    - ``"gpfs"``: no user-visible striping; the system "reacts to the
+      workload", modeled as a per-client efficiency that *degrades for
+      small requests* (``efficiency_s0``) — the mechanism behind the
+      strong-scaling bandwidth collapse the paper observes on Summit.
+    - ``"lustre"``: user-visible striping; a file's ceiling is
+      ``stripe_count * ost_bandwidth``, and per-client efficiency also
+      degrades for small requests.
+    """
+
+    kind: str
+    peak_bandwidth: float
+    #: Request size at which a client achieves ~half its peak share.
+    efficiency_s0: float = 4 * MiB
+    #: Fixed metadata/setup latency per I/O request, seconds.
+    metadata_latency: float = 2e-3
+    #: Extra metadata serialization per already-in-flight client request
+    #: (seconds).  Models lock/allocation contention on the server side:
+    #: the k-th concurrent request waits ~k*penalty longer, so phases
+    #: with many small requests degrade as ranks grow — the mechanism
+    #: behind the paper's strong-scaling bandwidth decrease on GPFS.
+    client_latency_penalty: float = 0.0
+    #: Minimum sustained per-request rate (bytes/second) regardless of
+    #: request size — a client's RPC pipeline always keeps some data in
+    #: flight.  Lets Lustre aggregate bandwidth keep growing with ranks
+    #: in strong scaling until the stripe ceiling binds (Fig. 4d).
+    client_floor_rate: float = 1.0
+    #: Lustre-only: number of object storage targets and per-OST bandwidth.
+    n_osts: int = 0
+    ost_bandwidth: float = 0.0
+    #: Lustre-only: default stripe count for new files.
+    default_stripe_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gpfs", "lustre"):
+            raise ValueError(f"unknown file system kind: {self.kind!r}")
+        if self.peak_bandwidth <= 0:
+            raise ValueError("peak_bandwidth must be positive")
+        if self.client_latency_penalty < 0:
+            raise ValueError("client_latency_penalty must be non-negative")
+        if self.client_floor_rate <= 0:
+            raise ValueError("client_floor_rate must be positive")
+        if self.kind == "lustre":
+            if self.n_osts < 1 or self.ost_bandwidth <= 0:
+                raise ValueError("lustre spec requires n_osts and ost_bandwidth")
+            if not 1 <= self.default_stripe_count <= self.n_osts:
+                raise ValueError("default_stripe_count must be in [1, n_osts]")
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Cost model constants for MPI-style communication.
+
+    A collective over ``p`` ranks moving ``n`` bytes per rank costs
+    ``alpha * ceil(log2 p) + n / beta`` (LogP-style tree model).
+    """
+
+    #: Per-hop message latency in seconds.
+    alpha: float = 2e-6
+    #: Point-to-point bandwidth in bytes/second.
+    beta: float = 12.0 * GB
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta <= 0:
+            raise ValueError("invalid interconnect constants")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete machine: nodes, file system, interconnect, extras."""
+
+    name: str
+    total_nodes: int
+    node: NodeSpec
+    filesystem: FileSystemSpec
+    interconnect: InterconnectSpec = field(default_factory=InterconnectSpec)
+    #: Default MPI ranks per node used in the paper's runs.
+    default_ranks_per_node: int = 1
+    #: Optional shared burst buffer bandwidth (Cori: 1.7 TB/s), B/s.
+    burst_buffer_bandwidth: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total_nodes < 1:
+            raise ValueError("machine needs at least one node")
+        if self.default_ranks_per_node < 1:
+            raise ValueError("default_ranks_per_node must be >= 1")
+
+    def max_ranks(self) -> int:
+        """Total rank slots at the default ranks-per-node density."""
+        return self.total_nodes * self.default_ranks_per_node

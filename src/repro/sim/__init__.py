@@ -1,0 +1,45 @@
+"""Discrete-event simulation kernel.
+
+This package provides the simulation substrate on which the whole
+reproduction runs: a deterministic event-heap engine with generator-based
+processes (:mod:`repro.sim.engine`), synchronization primitives
+(:mod:`repro.sim.primitives`), and a bandwidth-sharing network model with
+max-min fair allocation (:mod:`repro.sim.network`).
+
+The design follows the structure of classic process-interaction DES
+libraries (SimPy, Argobots-style tasking): a *process* is a Python
+generator that ``yield``\\ s *waitables* (timeouts, events, other
+processes); the engine resumes it when the waitable fires.  All state is
+local to an :class:`~repro.sim.engine.Engine` instance, so independent
+simulations can run side by side (and in parallel test workers) without
+global state.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Process,
+    SimEvent,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.network import Flow, Link, Network
+from repro.sim.primitives import Barrier, Mutex, Queue, Semaphore
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Barrier",
+    "Engine",
+    "Flow",
+    "Link",
+    "Mutex",
+    "Network",
+    "Process",
+    "Queue",
+    "Semaphore",
+    "SimEvent",
+    "SimulationError",
+    "Timeout",
+]

@@ -1,0 +1,377 @@
+"""Deterministic discrete-event engine with generator-based processes.
+
+The engine maintains a priority heap of ``(time, priority, sequence)``
+keys.  The sequence number breaks ties so that events scheduled at the
+same simulated time fire in FIFO order, which makes every simulation run
+bit-for-bit reproducible for a given seed.
+
+A *process* is a Python generator.  Each ``yield`` hands the engine a
+*waitable* — one of:
+
+- :class:`Timeout` — resume after a fixed simulated delay,
+- :class:`SimEvent` — resume when the event is triggered,
+- :class:`Process` — resume when the child process terminates (a join),
+- :class:`AllOf` / :class:`AnyOf` — composite conditions.
+
+The value passed to :meth:`SimEvent.succeed` becomes the result of the
+``yield`` expression; a failure raised with :meth:`SimEvent.fail` is
+re-raised inside the waiting process.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "Process",
+    "SimEvent",
+    "SimulationError",
+    "Timeout",
+]
+
+#: Priority band for ordinary events.
+PRIORITY_NORMAL = 0
+#: Priority band for deferred bookkeeping (e.g. network rebalance) that
+#: must run *after* every ordinary event scheduled at the same instant.
+PRIORITY_LATE = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for violations of engine invariants (e.g. time reversal)."""
+
+
+class SimEvent:
+    """A one-shot event processes can wait on.
+
+    An event has three states: *pending* (initial), *triggered*
+    (``succeed``/``fail`` called, callbacks scheduled) and *processed*
+    (callbacks have run).  Waiting on an already-triggered event resumes
+    the waiter immediately (at the current simulated time).
+    """
+
+    __slots__ = (
+        "engine",
+        "callbacks",
+        "_value",
+        "_exc",
+        "_triggered",
+        "_processed",
+        "name",
+    )
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.name = name
+        self.callbacks: list[Callable[["SimEvent"], None]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether :meth:`succeed` or :meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event completed without a failure."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The success value (``None`` until triggered)."""
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "SimEvent":
+        """Trigger the event, optionally after ``delay`` simulated seconds."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        self.engine.schedule(delay, self._dispatch)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "SimEvent":
+        """Trigger the event with a failure re-raised in each waiter."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._exc = exc
+        self.engine.schedule(delay, self._dispatch)
+        return self
+
+    def _dispatch(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def _wait(self, callback: Callable[["SimEvent"], None]) -> None:
+        """Register ``callback``; fires immediately if already processed.
+
+        A *triggered but not yet dispatched* event (e.g. a delayed
+        ``succeed``) simply queues the callback for the pending dispatch.
+        """
+        if self._processed:
+            # Re-dispatch for late subscribers at the current time.
+            self.engine.schedule(0.0, lambda: callback(self))
+        else:
+            self.callbacks.append(callback)
+
+    # Waitable protocol -------------------------------------------------
+    def _as_event(self, engine: "Engine") -> "SimEvent":
+        if engine is not self.engine:
+            raise SimulationError("event waited on from a foreign engine")
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<SimEvent {self.name!r} {state}>"
+
+
+class Timeout:
+    """Waitable that fires after a fixed simulated delay.
+
+    ``yield Timeout(dt)`` resumes the process ``dt`` seconds later and
+    evaluates to ``value``.
+    """
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        self.delay = float(delay)
+        self.value = value
+
+    def _as_event(self, engine: "Engine") -> SimEvent:
+        ev = SimEvent(engine, name=f"timeout({self.delay})")
+        ev.succeed(self.value, delay=self.delay)
+        return ev
+
+
+class AllOf:
+    """Composite waitable: fires when *all* child waitables have fired.
+
+    The result is a list of the children's values in input order.
+    """
+
+    __slots__ = ("waitables",)
+
+    def __init__(self, waitables: Iterable[Any]):
+        self.waitables = list(waitables)
+
+    def _as_event(self, engine: "Engine") -> SimEvent:
+        done = SimEvent(engine, name="all_of")
+        children = [w._as_event(engine) for w in self.waitables]
+        if not children:
+            done.succeed([])
+            return done
+        remaining = [len(children)]
+        values: list[Any] = [None] * len(children)
+
+        def make_cb(i: int) -> Callable[[SimEvent], None]:
+            def cb(ev: SimEvent) -> None:
+                if done.triggered:
+                    return
+                if ev._exc is not None:
+                    done.fail(ev._exc)
+                    return
+                values[i] = ev.value
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    done.succeed(list(values))
+
+            return cb
+
+        for i, child in enumerate(children):
+            child._wait(make_cb(i))
+        return done
+
+
+class AnyOf:
+    """Composite waitable: fires when *any* child waitable fires.
+
+    The result is a ``(index, value)`` pair for the first child to fire.
+    """
+
+    __slots__ = ("waitables",)
+
+    def __init__(self, waitables: Iterable[Any]):
+        self.waitables = list(waitables)
+        if not self.waitables:
+            raise ValueError("AnyOf requires at least one waitable")
+
+    def _as_event(self, engine: "Engine") -> SimEvent:
+        done = SimEvent(engine, name="any_of")
+        children = [w._as_event(engine) for w in self.waitables]
+
+        def make_cb(i: int) -> Callable[[SimEvent], None]:
+            def cb(ev: SimEvent) -> None:
+                if done.triggered:
+                    return
+                if ev._exc is not None:
+                    done.fail(ev._exc)
+                else:
+                    done.succeed((i, ev.value))
+
+            return cb
+
+        for i, child in enumerate(children):
+            child._wait(make_cb(i))
+        return done
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    Joining: a process is itself a waitable; ``yield child`` resumes the
+    parent when ``child`` terminates and evaluates to the child's return
+    value.  Unhandled exceptions escape to :meth:`Engine.run` unless some
+    process joins the failing process, in which case they propagate there.
+    """
+
+    __slots__ = ("engine", "generator", "done", "name", "_started")
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
+        self.engine = engine
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.done = SimEvent(engine, name=f"{self.name}.done")
+        self._started = False
+        engine.schedule(0.0, self._resume, None, None)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the process has not yet terminated."""
+        return not self.done.triggered
+
+    @property
+    def value(self) -> Any:
+        """Return value of the process (``None`` until it terminates)."""
+        return self.done.value
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.done.triggered:
+            return
+        try:
+            if exc is not None:
+                waitable = self.generator.throw(exc)
+            else:
+                waitable = self.generator.send(value)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate to joiners
+            if self.done.callbacks:
+                self.done.fail(err)
+            else:
+                raise
+            return
+        event = waitable._as_event(self.engine)
+        event._wait(self._on_event)
+
+    def _on_event(self, event: SimEvent) -> None:
+        self._resume(event.value, event._exc)
+
+    # Waitable protocol -------------------------------------------------
+    def _as_event(self, engine: "Engine") -> SimEvent:
+        if engine is not self.engine:
+            raise SimulationError("process joined from a foreign engine")
+        return self.done
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Engine:
+    """Deterministic discrete-event simulation engine.
+
+    All times are in seconds of *simulated* time.  The engine is strictly
+    single-threaded: determinism comes from the total ordering
+    ``(time, priority, sequence)`` on scheduled callbacks.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[tuple[float, int, int, Callable, tuple]] = []
+        #: Number of callbacks executed so far (observability / tests).
+        self.executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable,
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, self._seq, callback, args)
+        )
+
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh pending :class:`SimEvent`."""
+        return SimEvent(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` waitable (convenience)."""
+        return Timeout(delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process executing ``generator``."""
+        return Process(self, generator, name=name)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event heap drains or ``until`` is reached.
+
+        Returns the simulated time at which execution stopped.
+        """
+        heap = self._heap
+        while heap:
+            time, _prio, _seq, callback, args = heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(heap)
+            if time < self._now - 1e-12:
+                raise SimulationError("event heap time reversal")
+            self._now = time
+            callback(*args)
+            self.executed += 1
+        return self._now
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Start ``generator`` as a process, run to completion, return its value."""
+        proc = self.process(generator, name=name)
+        self.run()
+        if proc.alive:
+            raise SimulationError(
+                f"process {proc.name!r} deadlocked: event heap drained "
+                f"at t={self._now} with the process still waiting"
+            )
+        if proc.done._exc is not None:
+            raise proc.done._exc
+        return proc.value
+
+    def peek(self) -> float:
+        """Time of the next scheduled callback (``inf`` if none)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Engine t={self._now:.6g} pending={len(self._heap)}>"

@@ -1,0 +1,200 @@
+"""Synchronization primitives for simulation processes.
+
+These mirror the classic concurrent-programming toolbox (semaphores,
+mutexes, bounded queues, barriers), but block in *simulated* time: an
+``acquire`` that cannot proceed parks the calling process on an internal
+:class:`~repro.sim.engine.SimEvent` until a ``release`` wakes it.
+
+All wakeups are FIFO, which keeps simulations deterministic and free of
+starvation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator
+
+from repro.sim.engine import Engine, SimEvent
+
+__all__ = ["Barrier", "Mutex", "Queue", "Semaphore"]
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeup.
+
+    Usage from a process::
+
+        yield sem.acquire()
+        try:
+            ...
+        finally:
+            sem.release()
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[SimEvent] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently-held permits."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of processes waiting for a permit."""
+        return len(self._waiters)
+
+    def acquire(self) -> SimEvent:
+        """Return a waitable that fires once a permit is held."""
+        ev = self.engine.event(name=f"{self.name}.acquire")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Release a held permit, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"semaphore {self.name!r} released when not held")
+        if self._waiters:
+            # Hand the permit directly to the next waiter.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+
+class Mutex(Semaphore):
+    """Binary semaphore."""
+
+    def __init__(self, engine: Engine, name: str = ""):
+        super().__init__(engine, capacity=1, name=name)
+
+
+class Queue:
+    """Unbounded FIFO channel between processes.
+
+    ``put`` never blocks; ``get`` yields until an item is available.
+    Used for work queues of background I/O workers (the Argobots-pool
+    analogue in the async VOL connector).
+    """
+
+    def __init__(self, engine: Engine, name: str = ""):
+        self.engine = engine
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimEvent] = deque()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``, waking the oldest blocked getter if any."""
+        if self._closed:
+            raise RuntimeError(f"put on closed queue {self.name!r}")
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> SimEvent:
+        """Return a waitable whose value is the next item.
+
+        On a closed, drained queue the waitable's value is
+        :data:`Queue.CLOSED`, which consumers use as a shutdown signal.
+        """
+        ev = self.engine.event(name=f"{self.name}.get")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        elif self._closed:
+            ev.succeed(Queue.CLOSED)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def pop_if(self, predicate) -> Any:
+        """Pop and return the head item if ``predicate(head)``; else None.
+
+        Lets a consumer opportunistically coalesce adjacent work (e.g.
+        the async VOL's write-merging) without blocking.
+        """
+        if self._items and predicate(self._items[0]):
+            return self._items.popleft()
+        return None
+
+    def close(self) -> None:
+        """Close the queue: pending and future gets receive ``CLOSED``."""
+        self._closed = True
+        while self._getters:
+            self._getters.popleft().succeed(Queue.CLOSED)
+
+    #: Sentinel returned by :meth:`get` when the queue is closed and empty.
+    CLOSED = object()
+
+
+class Barrier:
+    """Cyclic barrier for a fixed number of parties.
+
+    Every party does ``yield barrier.wait()``; the barrier releases all
+    of them once the last one arrives, then resets for the next cycle.
+    The value of the wait is the barrier *generation* index (0, 1, ...),
+    useful for detecting epoch boundaries in tests.
+    """
+
+    def __init__(self, engine: Engine, parties: int, name: str = ""):
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        self.engine = engine
+        self.parties = parties
+        self.name = name
+        self._generation = 0
+        self._arrived = 0
+        self._event = engine.event(name=f"{name}.gen0")
+
+    @property
+    def generation(self) -> int:
+        """Completed barrier cycles so far."""
+        return self._generation
+
+    @property
+    def waiting(self) -> int:
+        """Parties currently blocked at the barrier."""
+        return self._arrived
+
+    def wait(self) -> SimEvent:
+        """Arrive at the barrier; returns a waitable for the release."""
+        self._arrived += 1
+        if self._arrived > self.parties:
+            raise RuntimeError(
+                f"barrier {self.name!r}: {self._arrived} arrivals for "
+                f"{self.parties} parties"
+            )
+        event = self._event
+        if self._arrived == self.parties:
+            generation = self._generation
+            self._generation += 1
+            self._arrived = 0
+            self._event = self.engine.event(
+                name=f"{self.name}.gen{self._generation}"
+            )
+            event.succeed(generation)
+        return event
+
+
+def hold(engine: Engine, seconds: float) -> Generator:
+    """Tiny helper process body: wait ``seconds`` then return them."""
+    yield engine.timeout(seconds)
+    return seconds

@@ -1,0 +1,23 @@
+"""Structured tracing of I/O operations.
+
+The paper's metrics all derive from per-operation timings: "We measured
+the time to perform read or write operations from HDF5.  The measured
+time ... includes the transactional overhead" and "the MPI process
+taking the longest time determines the I/O time for that iteration"
+(§V-A, §III-B2).  :class:`IOLog` collects one :class:`IOOpRecord` per
+``H5Dwrite``/``H5Dread`` and reduces them to the paper's
+aggregate-bandwidth and phase-time metrics.
+"""
+
+from repro.trace.recorder import IOLog, IOOpRecord
+from repro.trace.export import records_to_csv, records_to_json
+from repro.trace.profiler import IOProfile, profile_log
+
+__all__ = [
+    "IOLog",
+    "IOOpRecord",
+    "IOProfile",
+    "profile_log",
+    "records_to_csv",
+    "records_to_json",
+]

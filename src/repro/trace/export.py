@@ -1,0 +1,48 @@
+"""Export I/O traces to CSV / JSON for offline analysis."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from typing import Iterable
+
+from repro.trace.recorder import IOOpRecord
+
+__all__ = ["records_to_csv", "records_to_json"]
+
+_FIELDS = [
+    "op",
+    "mode",
+    "rank",
+    "nbytes",
+    "dataset",
+    "phase",
+    "t_submit",
+    "t_unblocked",
+    "t_complete",
+    "cache_hit",
+]
+
+
+def records_to_csv(records: Iterable[IOOpRecord]) -> str:
+    """Serialize records to CSV text (header + one row per op)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(_FIELDS)
+    for r in records:
+        writer.writerow([getattr(r, f) for f in _FIELDS])
+    return buf.getvalue()
+
+
+def records_to_json(records: Iterable[IOOpRecord]) -> str:
+    """Serialize records to a JSON array (NaN encoded as null)."""
+    rows = []
+    for r in records:
+        row = {f: getattr(r, f) for f in _FIELDS}
+        for key, value in row.items():
+            if isinstance(value, float) and math.isnan(value):
+                row[key] = None
+        rows.append(row)
+    return json.dumps(rows)

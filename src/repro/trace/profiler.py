@@ -1,0 +1,127 @@
+"""Darshan-style I/O profiling reports from operation logs.
+
+The paper motivates the whole study with a tooling gap: "profiling and
+identifying the effectiveness of such methods has become difficult due
+to application and system complexity" (§II-B).  This module turns an
+:class:`~repro.trace.IOLog` plus the application duration into the kind
+of report I/O characterization tools (Darshan, Recorder) produce:
+how much of the run each rank spent blocked in I/O, the request-size
+histogram, per-phase timing, and the sync/async split.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.trace.recorder import IOLog
+
+__all__ = ["IOProfile", "profile_log"]
+
+#: Request-size histogram bucket edges (bytes), Darshan-style.
+SIZE_BUCKETS = [
+    (0, 4 << 10, "0-4KiB"),
+    (4 << 10, 1 << 20, "4KiB-1MiB"),
+    (1 << 20, 32 << 20, "1-32MiB"),
+    (32 << 20, 1 << 30, "32MiB-1GiB"),
+    (1 << 30, math.inf, ">1GiB"),
+]
+
+
+@dataclass
+class IOProfile:
+    """Aggregated I/O behaviour of one run."""
+
+    app_time: float
+    n_ops: int
+    n_ranks: int
+    total_bytes: float
+    bytes_read: float
+    bytes_written: float
+    #: fraction of the run the slowest/median rank spent blocked in I/O
+    max_io_fraction: float
+    median_io_fraction: float
+    #: ops per size bucket label
+    size_histogram: dict[str, int]
+    #: ops per mode ('sync'/'async') and cache hits
+    mode_counts: dict[str, int]
+    cache_hits: int
+    #: per-phase (io_time, bytes) in phase order
+    phase_table: list[tuple[int, float, float]] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Render as a Darshan-like text report."""
+        lines = ["=== I/O profile ==="]
+        lines.append(f"application time       {self.app_time:12.3f} s")
+        lines.append(f"ranks / operations     {self.n_ranks} / {self.n_ops}")
+        lines.append(
+            f"bytes moved            {self.total_bytes / 1e9:12.3f} GB "
+            f"(write {self.bytes_written / 1e9:.3f}, "
+            f"read {self.bytes_read / 1e9:.3f})"
+        )
+        lines.append(
+            f"I/O-blocked fraction   max {self.max_io_fraction * 100:6.2f}%  "
+            f"median {self.median_io_fraction * 100:6.2f}%"
+        )
+        lines.append("request sizes:")
+        for label in [b[2] for b in SIZE_BUCKETS]:
+            count = self.size_histogram.get(label, 0)
+            if count:
+                lines.append(f"  {label:>12s}  {count:8d} ops")
+        mode_bits = ", ".join(
+            f"{mode}: {count}" for mode, count in sorted(self.mode_counts.items())
+        )
+        lines.append(f"modes: {mode_bits}; prefetch cache hits: {self.cache_hits}")
+        if self.phase_table:
+            lines.append("phases (id, io time s, GB):")
+            for phase, io_time, nbytes in self.phase_table:
+                lines.append(
+                    f"  {phase:4d}  {io_time:10.4f}  {nbytes / 1e9:10.3f}"
+                )
+        return "\n".join(lines)
+
+
+def profile_log(log: IOLog, app_time: float,
+                n_ranks: Optional[int] = None) -> IOProfile:
+    """Build an :class:`IOProfile` from a run's log and duration."""
+    if app_time <= 0:
+        raise ValueError(f"app_time must be positive, got {app_time}")
+    if not log.records:
+        raise ValueError("empty I/O log")
+    ranks = sorted({r.rank for r in log.records})
+    n_ranks = n_ranks if n_ranks is not None else len(ranks)
+
+    fractions = sorted(
+        log.total_blocking_time(rank) / app_time for rank in ranks
+    )
+    histogram: dict[str, int] = {}
+    for r in log.records:
+        for lo, hi, label in SIZE_BUCKETS:
+            if lo <= r.nbytes < hi:
+                histogram[label] = histogram.get(label, 0) + 1
+                break
+    mode_counts: dict[str, int] = {}
+    for r in log.records:
+        mode_counts[r.mode] = mode_counts.get(r.mode, 0) + 1
+
+    phase_table = []
+    for phase in log.phases():
+        phase_table.append(
+            (phase, log.phase_io_time(phase), log.phase_bytes(phase))
+        )
+
+    return IOProfile(
+        app_time=app_time,
+        n_ops=len(log.records),
+        n_ranks=n_ranks,
+        total_bytes=sum(r.nbytes for r in log.records),
+        bytes_read=sum(r.nbytes for r in log.select(op="read")),
+        bytes_written=sum(r.nbytes for r in log.select(op="write")),
+        max_io_fraction=fractions[-1],
+        median_io_fraction=fractions[len(fractions) // 2],
+        size_histogram=histogram,
+        mode_counts=mode_counts,
+        cache_hits=sum(1 for r in log.records if r.cache_hit),
+        phase_table=phase_table,
+    )

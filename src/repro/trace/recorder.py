@@ -1,0 +1,183 @@
+"""I/O operation records and the paper's derived metrics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["IOLog", "IOOpRecord"]
+
+
+@dataclass
+class IOOpRecord:
+    """One ``H5Dwrite`` / ``H5Dread`` as observed by the application.
+
+    Three timestamps partition an operation's life:
+
+    - ``t_submit``: the application called the API.
+    - ``t_unblocked``: the API returned control to the application.
+      For synchronous I/O this is after the full PFS transfer; for
+      asynchronous I/O it is after the *transactional copy* only —
+      which is precisely why the paper's measured async "bandwidth" is
+      orders of magnitude higher.
+    - ``t_complete``: the data is durable on the target storage
+      (``nan`` while still in flight).
+    """
+
+    op: str  # 'write' | 'read'
+    mode: str  # 'sync' | 'async'
+    rank: int
+    nbytes: float
+    dataset: str
+    phase: Optional[int]
+    t_submit: float
+    t_unblocked: float
+    t_complete: float = float("nan")
+    cache_hit: bool = False
+
+    def __post_init__(self) -> None:
+        if self.op not in ("write", "read"):
+            raise ValueError(f"op must be 'write' or 'read', got {self.op!r}")
+        if self.mode not in ("sync", "async"):
+            raise ValueError(f"mode must be 'sync' or 'async', got {self.mode!r}")
+        if self.nbytes < 0:
+            raise ValueError(f"negative nbytes: {self.nbytes}")
+        if self.t_unblocked < self.t_submit:
+            raise ValueError("t_unblocked before t_submit")
+
+    @property
+    def blocking_time(self) -> float:
+        """Time the application thread was stalled by this operation."""
+        return self.t_unblocked - self.t_submit
+
+    @property
+    def completion_time(self) -> float:
+        """Submit-to-durable latency (``nan`` while in flight)."""
+        return self.t_complete - self.t_submit
+
+    @property
+    def observed_rate(self) -> float:
+        """The paper's per-op "I/O rate": size over *observed* (blocking)
+        time."""
+        bt = self.blocking_time
+        if bt <= 0.0:
+            return math.inf
+        return self.nbytes / bt
+
+
+class IOLog:
+    """Append-only log of I/O operations with paper-metric reductions."""
+
+    def __init__(self) -> None:
+        self.records: list[IOOpRecord] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def append(self, record: IOOpRecord) -> IOOpRecord:
+        """Add a record (returned for chaining/updating)."""
+        self.records.append(record)
+        return record
+
+    # -- filters ----------------------------------------------------------
+    def select(
+        self,
+        op: Optional[str] = None,
+        mode: Optional[str] = None,
+        phase: Optional[int] = None,
+        rank: Optional[int] = None,
+    ) -> list[IOOpRecord]:
+        """Records matching every given criterion."""
+        out = self.records
+        if op is not None:
+            out = [r for r in out if r.op == op]
+        if mode is not None:
+            out = [r for r in out if r.mode == mode]
+        if phase is not None:
+            out = [r for r in out if r.phase == phase]
+        if rank is not None:
+            out = [r for r in out if r.rank == rank]
+        return list(out)
+
+    def phases(self, op: Optional[str] = None) -> list[int]:
+        """Sorted distinct phase indices present in the log."""
+        return sorted(
+            {r.phase for r in self.select(op=op) if r.phase is not None}
+        )
+
+    # -- paper metrics ------------------------------------------------------
+    def phase_io_time(self, phase: int, op: Optional[str] = None) -> float:
+        """The I/O time of one phase: the slowest rank's total blocking time.
+
+        "With parallel I/O, since all the nodes have to synchronize
+        after their respective data transfers, the MPI process taking
+        the longest time determines the I/O time" (§III-B2).
+        """
+        records = self.select(op=op, phase=phase)
+        if not records:
+            raise ValueError(f"no records for phase {phase}")
+        per_rank: dict[int, float] = {}
+        for r in records:
+            per_rank[r.rank] = per_rank.get(r.rank, 0.0) + r.blocking_time
+        return max(per_rank.values())
+
+    def phase_bytes(self, phase: int, op: Optional[str] = None) -> float:
+        """Total bytes moved by all ranks in one phase."""
+        return sum(r.nbytes for r in self.select(op=op, phase=phase))
+
+    def phase_bandwidth(self, phase: int, op: Optional[str] = None) -> float:
+        """Aggregate bandwidth of one phase: total bytes / phase I/O time."""
+        t = self.phase_io_time(phase, op=op)
+        nbytes = self.phase_bytes(phase, op=op)
+        if t <= 0.0:
+            return math.inf
+        return nbytes / t
+
+    def peak_bandwidth(self, op: Optional[str] = None) -> float:
+        """Best per-phase aggregate bandwidth across all phases.
+
+        The paper plots "the peak measured aggregate bandwidth for all
+        I/O phases" (§V-A.1).
+        """
+        phases = self.phases(op=op)
+        if not phases:
+            raise ValueError("log has no phased records")
+        return max(self.phase_bandwidth(p, op=op) for p in phases)
+
+    def mean_bandwidth(self, op: Optional[str] = None) -> float:
+        """Mean per-phase aggregate bandwidth across phases."""
+        phases = self.phases(op=op)
+        if not phases:
+            raise ValueError("log has no phased records")
+        values = [self.phase_bandwidth(p, op=op) for p in phases]
+        finite = [v for v in values if math.isfinite(v)]
+        if not finite:
+            return math.inf
+        return sum(finite) / len(finite)
+
+    def total_blocking_time(self, rank: int) -> float:
+        """Total time ``rank`` spent stalled in I/O calls."""
+        return sum(r.blocking_time for r in self.select(rank=rank))
+
+    def merge(self, other: "IOLog") -> "IOLog":
+        """New log with both logs' records in submit-time order."""
+        merged = IOLog()
+        merged.records = sorted(
+            self.records + other.records, key=lambda r: r.t_submit
+        )
+        return merged
+
+    def per_dataset_summary(self) -> dict[str, dict[str, float]]:
+        """Per-dataset totals: op count, bytes, mean blocking time."""
+        out: dict[str, dict[str, float]] = {}
+        for r in self.records:
+            entry = out.setdefault(
+                r.dataset, {"ops": 0, "bytes": 0.0, "blocking": 0.0}
+            )
+            entry["ops"] += 1
+            entry["bytes"] += r.nbytes
+            entry["blocking"] += r.blocking_time
+        for entry in out.values():
+            entry["mean_blocking"] = entry["blocking"] / entry["ops"]
+        return out

@@ -1,0 +1,56 @@
+"""The paper's I/O kernels and applications (§IV-B, §IV-C).
+
+Each workload module provides a config dataclass and a
+``*_program(lib, vol, config)`` factory returning the per-rank coroutine
+for :meth:`repro.mpi.job.MPIJob.run`.  Programs are connector-agnostic:
+they always thread an event set through their writes, so the same
+program runs synchronously (NativeVOL), asynchronously (AsyncVOL) or
+adaptively (AdaptiveVOL) — the transparency property of the VOL design.
+
+Fidelity notes: the paper itself replaces the kernels' computation with
+sleeps ("the clustering computation was replaced with 30 seconds of
+sleep time", §IV-B), so reproducing the *I/O structure* — dataset
+layout, per-rank sizes, read/write direction, scaling mode and I/O
+frequency — is exactly what the original evaluation measures.
+"""
+
+from repro.workloads.base import IterativeIOStats, summarize_run
+from repro.workloads.vpic_io import VPICConfig, vpic_program
+from repro.workloads.bdcats_io import BDCATSConfig, bdcats_program, prepopulate_vpic_file
+from repro.workloads.amrex import (
+    AMRHierarchy,
+    Box,
+    BoxArray,
+    MultiFab,
+    ParticleContainer,
+)
+from repro.workloads.nyx import NyxConfig, nyx_program
+from repro.workloads.castro import CastroConfig, castro_program
+from repro.workloads.sw4 import SW4Config, sw4_program
+from repro.workloads.cosmoflow import CosmoflowConfig, cosmoflow_program
+from repro.workloads.restart import RestartConfig, restart_program
+
+__all__ = [
+    "AMRHierarchy",
+    "BDCATSConfig",
+    "Box",
+    "BoxArray",
+    "CastroConfig",
+    "CosmoflowConfig",
+    "IterativeIOStats",
+    "MultiFab",
+    "NyxConfig",
+    "ParticleContainer",
+    "RestartConfig",
+    "SW4Config",
+    "VPICConfig",
+    "bdcats_program",
+    "castro_program",
+    "cosmoflow_program",
+    "nyx_program",
+    "prepopulate_vpic_file",
+    "restart_program",
+    "summarize_run",
+    "sw4_program",
+    "vpic_program",
+]

@@ -1,0 +1,43 @@
+"""Shared helpers for workload programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.trace import IOLog
+
+__all__ = ["IterativeIOStats", "summarize_run"]
+
+
+@dataclass(frozen=True)
+class IterativeIOStats:
+    """Summary of one run's I/O behaviour, in the paper's terms."""
+
+    n_phases: int
+    total_bytes: float
+    peak_bandwidth: float  # best per-phase aggregate bandwidth (Fig. 3-6 metric)
+    mean_bandwidth: float
+    app_time: float  # end-to-end simulated duration (Fig. 7 metric)
+    mode: str
+
+    def __post_init__(self) -> None:
+        if self.n_phases < 1:
+            raise ValueError("need at least one I/O phase")
+
+
+def summarize_run(log: IOLog, app_time: float, op: Optional[str] = None,
+                  mode: str = "sync") -> IterativeIOStats:
+    """Reduce an :class:`~repro.trace.IOLog` to the paper's metrics."""
+    phases = log.phases(op=op)
+    if not phases:
+        raise ValueError("run produced no phased I/O records")
+    total = sum(log.phase_bytes(p, op=op) for p in phases)
+    return IterativeIOStats(
+        n_phases=len(phases),
+        total_bytes=total,
+        peak_bandwidth=log.peak_bandwidth(op=op),
+        mean_bandwidth=log.mean_bandwidth(op=op),
+        app_time=app_time,
+        mode=mode,
+    )

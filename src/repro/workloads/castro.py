@@ -1,0 +1,89 @@
+"""Castro: compressible astrophysics code on AMReX (paper §IV-C, Fig. 4c/4d).
+
+"We run the Castro simulation at 128x128x128 dimensions with 6
+components in each multifab and 2 particles per cell."  The dataset
+stays fixed while MPI ranks scale (strong scaling): "the amount of
+data each rank processes and writes decreases proportionally".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.hdf5 import EventSet, H5Library
+from repro.hdf5.vol import VOLConnector
+from repro.workloads.amrex import BoxArray, MultiFab, ParticleContainer, write_plotfile
+
+__all__ = ["CastroConfig", "castro_program"]
+
+
+@dataclass(frozen=True)
+class CastroConfig:
+    """Castro run parameters (paper defaults)."""
+
+    dim: int = 128
+    max_grid_size: int = 8  # 4096 grids: enough parallelism for the sweeps
+    ncomp: int = 6  # "6 components in each multifab"
+    n_multifabs: int = 2  # hydro state + radiation/MHD auxiliaries
+    particles_per_cell: int = 2
+    reals_per_particle: int = 4
+    plot_int: int = 10
+    n_plotfiles: int = 3
+    seconds_per_step: float = 1.0
+    path: str = "/castro_plt.h5"
+
+    def __post_init__(self) -> None:
+        if self.dim < 1 or self.max_grid_size < 1:
+            raise ValueError(f"invalid Castro dims: {self}")
+        if self.ncomp < 1 or self.n_multifabs < 1:
+            raise ValueError(f"invalid Castro multifab config: {self}")
+        if self.plot_int < 1 or self.n_plotfiles < 1:
+            raise ValueError(f"invalid Castro I/O frequency: {self}")
+        if self.seconds_per_step < 0 or self.particles_per_cell < 0:
+            raise ValueError(f"invalid Castro parameters: {self}")
+
+    def boxarray(self) -> BoxArray:
+        """The mesh decomposition."""
+        return BoxArray((self.dim,) * 3, self.max_grid_size)
+
+    def compute_phase_seconds(self) -> float:
+        """Duration of one computation phase."""
+        return self.plot_int * self.seconds_per_step
+
+    def plotfile_bytes(self) -> int:
+        """Bytes of one plotfile: multifabs + particle container."""
+        cells = self.dim**3
+        mf = cells * self.ncomp * 8 * self.n_multifabs
+        particles = cells * self.particles_per_cell * self.reals_per_particle * 8
+        return mf + particles
+
+
+def castro_program(lib: H5Library, vol: VOLConnector, config: CastroConfig):
+    """Per-rank coroutine: compute steps then a plotfile with particles."""
+    boxarray = config.boxarray()
+    multifabs = [
+        MultiFab(boxarray, ncomp=config.ncomp, name=f"mf{i}")
+        for i in range(config.n_multifabs)
+    ]
+    particles = ParticleContainer(
+        boxarray,
+        particles_per_cell=config.particles_per_cell,
+        reals_per_particle=config.reals_per_particle,
+    )
+
+    def program(ctx) -> Generator:
+        f = yield from lib.create(ctx, config.path, vol)
+        es = EventSet(ctx.engine, name=f"castro.r{ctx.rank}")
+        for plot in range(config.n_plotfiles):
+            yield ctx.compute(config.compute_phase_seconds())
+            yield from ctx.barrier()  # AMR time steps are bulk-synchronous
+            yield from write_plotfile(
+                ctx, f, step=(plot + 1) * config.plot_int,
+                multifabs=multifabs, particles=particles, es=es, phase=plot,
+            )
+        yield from es.wait()
+        yield from f.close()
+        return ctx.now
+
+    return program

@@ -1,0 +1,106 @@
+"""Nyx: AMR cosmology simulation (paper §IV-C, Fig. 4a/4b, Fig. 7).
+
+"Nyx outputs a single plotfile in the HDF5 format containing
+information for visualizations.  We run two configurations: small
+(256³, plotfile every 20 time steps) and large (2048³, plotfile every
+50 time steps)."  The dataset size is fixed while MPI ranks scale
+(strong scaling).  Fig. 7 varies the number of time steps per
+computation phase from 1 to 192.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Generator
+
+from repro.hdf5 import EventSet, H5Library
+from repro.hdf5.vol import VOLConnector
+from repro.workloads.amrex import AMRHierarchy, BoxArray, MultiFab, write_plotfile
+
+__all__ = ["NyxConfig", "nyx_program"]
+
+
+@dataclass(frozen=True)
+class NyxConfig:
+    """Nyx run parameters.
+
+    ``plot_int`` is the I/O frequency in time steps;
+    ``seconds_per_step`` the computation cost of one time step, so a
+    computation phase lasts ``plot_int * seconds_per_step``.
+    """
+
+    dim: int = 256
+    max_grid_size: int = 32
+    ncomp: int = 10  # baryon state + derived fields in the plotfile
+    plot_int: int = 20
+    n_plotfiles: int = 3
+    seconds_per_step: float = 0.5
+    path: str = "/nyx_plt.h5"
+    #: "Since Nyx has an option to use GPUs" (§V-A.3): state lives in
+    #: device memory, so every write first pays a device→host transfer
+    #: (blocking for sync I/O; the transactional copy for async).
+    use_gpu: bool = False
+    pinned_host_memory: bool = True
+    #: AMR levels in the plotfile ("massively parallel, adaptive mesh");
+    #: 1 reproduces the paper's single-level I/O sizes, more levels add
+    #: one dataset per level with refined sub-domains.
+    amr_levels: int = 1
+    amr_coverage: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.dim < 1 or self.max_grid_size < 1:
+            raise ValueError(f"invalid Nyx dims: {self}")
+        if self.plot_int < 1 or self.n_plotfiles < 1:
+            raise ValueError(f"invalid Nyx I/O frequency: {self}")
+        if self.seconds_per_step < 0:
+            raise ValueError("seconds_per_step must be non-negative")
+        if self.amr_levels < 1:
+            raise ValueError("amr_levels must be >= 1")
+
+    @classmethod
+    def small(cls, **overrides) -> "NyxConfig":
+        """The paper's small configuration: 256³, plotfile / 20 steps."""
+        return replace(cls(dim=256, plot_int=20, max_grid_size=16), **overrides)
+
+    @classmethod
+    def large(cls, **overrides) -> "NyxConfig":
+        """The paper's large configuration: 2048³, plotfile / 50 steps."""
+        return replace(cls(dim=2048, plot_int=50, max_grid_size=128), **overrides)
+
+    def boxarray(self) -> BoxArray:
+        """The (single-level) mesh decomposition."""
+        return BoxArray((self.dim,) * 3, self.max_grid_size)
+
+    def compute_phase_seconds(self) -> float:
+        """Duration of one computation phase."""
+        return self.plot_int * self.seconds_per_step
+
+    def plotfile_bytes(self) -> int:
+        """Bytes of one plotfile (fixed — strong scaling)."""
+        return self.dim**3 * self.ncomp * 8
+
+
+def nyx_program(lib: H5Library, vol: VOLConnector, config: NyxConfig):
+    """Per-rank coroutine: ``plot_int`` compute steps, then a plotfile."""
+    hierarchy = AMRHierarchy(
+        (config.dim,) * 3, config.max_grid_size,
+        levels=config.amr_levels, coverage=config.amr_coverage,
+    )
+    multifabs = hierarchy.multifabs(config.ncomp, name="state")
+
+    def program(ctx) -> Generator:
+        f = yield from lib.create(ctx, config.path, vol)
+        es = EventSet(ctx.engine, name=f"nyx.r{ctx.rank}")
+        for plot in range(config.n_plotfiles):
+            yield ctx.compute(config.compute_phase_seconds())
+            yield from ctx.barrier()  # AMR time steps are bulk-synchronous
+            yield from write_plotfile(
+                ctx, f, step=(plot + 1) * config.plot_int,
+                multifabs=multifabs, es=es, phase=plot,
+                from_gpu=config.use_gpu, pinned=config.pinned_host_memory,
+            )
+        yield from es.wait()
+        yield from f.close()
+        return ctx.now
+
+    return program

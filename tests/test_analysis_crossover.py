@@ -1,0 +1,86 @@
+"""Tests for the crossover analysis."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import compute_crossover_scale, min_compute_to_benefit
+from repro.model import EpochCosts, async_epoch_time, sync_epoch_time
+
+
+def test_crossover_found_at_saturation():
+    """Sync rate saturates; async rate grows linearly: async wins once
+    the scales diverge enough to beat the overhead."""
+    scales = [32, 64, 128, 256, 512]
+    result = compute_crossover_scale(
+        scales,
+        phase_bytes_of=lambda n: n * 256e6,       # weak scaling
+        sync_rate_of=lambda n: min(n * 2e9, 100e9),  # saturates at 50 ranks
+        async_rate_of=lambda n: n * 8e9,          # linear staging
+        t_comp=30.0,
+    )
+    assert result.nranks is not None
+    # speedups monotone across the saturated region
+    sats = [result.speedups[n] for n in scales[2:]]
+    assert sats == sorted(sats)
+    assert result.speedups[512] > result.speedups[32]
+
+
+def test_crossover_never_when_async_never_wins():
+    result = compute_crossover_scale(
+        [8, 16],
+        phase_bytes_of=lambda n: 1e6,
+        sync_rate_of=lambda n: 100e9,   # I/O basically free
+        async_rate_of=lambda n: 1e6,    # huge overhead
+        t_comp=0.0001,
+    )
+    assert result.nranks is None
+    assert all(v <= 1.0 for v in result.speedups.values())
+
+
+def test_crossover_threshold():
+    kwargs = dict(
+        phase_bytes_of=lambda n: n * 1e9,
+        sync_rate_of=lambda n: 50e9,
+        async_rate_of=lambda n: n * 8e9,
+        t_comp=10.0,
+    )
+    lax = compute_crossover_scale([16, 64, 256], threshold=1.0, **kwargs)
+    strict = compute_crossover_scale([16, 64, 256], threshold=1.5, **kwargs)
+    assert (strict.nranks or 10**9) >= (lax.nranks or 10**9)
+    with pytest.raises(ValueError):
+        compute_crossover_scale([1], threshold=0.0, **kwargs)
+
+
+def test_min_compute_to_benefit_regimes():
+    # overhead smaller than I/O: benefit needs c > t_tr/2
+    assert min_compute_to_benefit(t_io=10.0, t_transact=2.0) == pytest.approx(1.0)
+    # overhead dominates I/O: never beneficial
+    assert min_compute_to_benefit(t_io=1.0, t_transact=2.0) == math.inf
+    with pytest.raises(ValueError):
+        min_compute_to_benefit(-1.0, 0.0)
+
+
+@given(
+    t_io=st.floats(min_value=0.01, max_value=100.0),
+    t_tr=st.floats(min_value=0.001, max_value=100.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_min_compute_boundary_is_tight(t_io, t_tr):
+    """Just above the boundary async wins; just below it doesn't."""
+    c_min = min_compute_to_benefit(t_io, t_tr)
+    if math.isinf(c_min):
+        # no c < t_io makes async faster
+        for c in [0.0, t_io / 2, t_io]:
+            costs = EpochCosts(t_comp=c, t_io=t_io, t_transact=t_tr)
+            assert async_epoch_time(costs) >= sync_epoch_time(costs) - 1e-9
+        return
+    eps = max(1e-9, c_min * 1e-6)
+    above = EpochCosts(t_comp=c_min + eps, t_io=t_io, t_transact=t_tr)
+    assert async_epoch_time(above) < sync_epoch_time(above)
+    if c_min > 0:
+        below = EpochCosts(t_comp=max(0.0, c_min - eps), t_io=t_io,
+                           t_transact=t_tr)
+        assert async_epoch_time(below) >= sync_epoch_time(below) - 1e-9

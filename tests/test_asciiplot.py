@@ -1,0 +1,92 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import render_figure, render_series
+from repro.harness.report import FigureData
+
+
+def demo_figure():
+    fig = FigureData("demo", "demo title",
+                     columns=["ranks", "sync GB/s", "async GB/s",
+                              "est sync GB/s"])
+    for r, s, a in [(96, 273.0, 768.0), (192, 513.0, 1536.0),
+                    (384, 969.0, 3072.0)]:
+        fig.add_row(r, s, a, s)
+    return fig
+
+
+def test_render_series_basic_structure():
+    out = render_series([1, 2, 3], {"alpha": [1.0, 10.0, 100.0]}, height=6)
+    lines = out.splitlines()
+    assert any("a" in line for line in lines)  # marker drawn
+    assert any("+---" in line for line in lines)  # x axis
+    assert "a=alpha" in lines[-1]  # legend
+
+
+def test_render_series_log_scale_extremes_on_edges():
+    out = render_series([1, 2], {"x": [1.0, 1000.0]}, height=8, logy=True)
+    lines = [l for l in out.splitlines() if "|" in l]
+    assert "x" in lines[0]  # max on top row
+    assert "x" in lines[-1]  # min on bottom row
+
+
+def test_render_series_linear_mode():
+    out = render_series([1, 2, 3], {"y": [0.0, 5.0, 10.0]}, height=5,
+                        logy=False)
+    assert "y=y" in out
+
+
+def test_render_series_skips_nonpositive_in_log_mode():
+    out = render_series([1, 2], {"y": [0.0, 100.0]}, height=5, logy=True)
+    # only one marker plotted
+    assert sum(line.count("y") for line in out.splitlines()[:-1]) == 1
+
+
+def test_render_series_validation():
+    with pytest.raises(ValueError):
+        render_series([1], {}, height=5)
+    with pytest.raises(ValueError):
+        render_series([1, 2], {"y": [1.0]}, height=5)
+    with pytest.raises(ValueError):
+        render_series([1], {"y": [1.0]}, height=1)
+    with pytest.raises(ValueError):
+        render_series([1], {"y": [-1.0]}, height=5, logy=True)
+
+
+def test_render_figure_excludes_estimate_columns():
+    out = render_figure(demo_figure())
+    assert "demo title" in out
+    assert "s=sync GB/s" in out
+    assert "a=async GB/s" in out
+    assert "est" not in out.splitlines()[-1]
+
+
+def test_render_figure_explicit_columns():
+    out = render_figure(demo_figure(), y_columns=["async GB/s"])
+    assert "a=async GB/s" in out
+    assert "s=sync GB/s" not in out.splitlines()[-1]
+
+
+def test_render_figure_no_numeric_series():
+    fig = FigureData("x", "t", columns=["mode", "est only GB/s"])
+    fig.add_row("sync", 1.0)
+    with pytest.raises(ValueError):
+        render_figure(fig, y_columns=[])
+
+
+@given(
+    values=st.lists(st.floats(min_value=0.1, max_value=1e12),
+                    min_size=2, max_size=12),
+    height=st.integers(min_value=2, max_value=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_render_never_crashes_and_marks_all_points(values, height):
+    out = render_series(list(range(len(values))), {"v": values}, height=height)
+    body = out.splitlines()[:-1]
+    marks = sum(line.count("v") for line in body if "|" in line)
+    # every point lands somewhere on the grid (collisions can merge
+    # points in the same cell, so count <= n but >= 1)
+    assert 1 <= marks <= len(values)

@@ -1,0 +1,41 @@
+"""Smoke tests: the fast example scripts run end-to-end.
+
+Examples are the library's public face; these tests keep them from
+rotting.  Only the quick ones run here (the sweep-heavy examples are
+exercised by the benchmark suite instead).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "sync mode" in out and "async mode" in out
+    assert "aggregate write bandwidth" in out
+
+
+def test_adaptive_io_runs():
+    out = run_example("adaptive_io.py")
+    assert "sync" in out and "async" in out
+    assert "cold start" in out
+
+
+def test_eqsim_checkpointing_runs():
+    out = run_example("eqsim_checkpointing.py")
+    assert "DRAM staging" in out
+    assert "node-SSD staging" in out

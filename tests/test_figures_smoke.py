@@ -1,0 +1,57 @@
+"""Smoke tests for the figure-generation plumbing at toy scales.
+
+The real sweeps run in the benchmark suite; here the scale tables are
+patched down so the full sweep → fit → table pipeline is exercised in
+seconds, keeping the figure code covered by ``pytest tests/``.
+"""
+
+import pytest
+
+from repro.harness import figures
+
+
+@pytest.fixture
+def tiny_scales(monkeypatch):
+    monkeypatch.setitem(figures._SCALES, ("summit", "quick"), [12, 24, 48])
+    monkeypatch.setitem(figures._SCALES, ("cori", "quick"), [32, 64, 128])
+    monkeypatch.setitem(figures._SCALES, ("summit-app", "quick"), [12, 24])
+    monkeypatch.setitem(figures._SCALES, ("summit-sat", "quick"), [12, 24])
+    monkeypatch.setitem(figures._SCALES, ("cori-app", "quick"), [32, 64])
+    monkeypatch.setitem(figures._REPS, "quick", 1)
+    monkeypatch.setitem(figures._STEPS, "quick", 2)
+
+
+def _check_bandwidth_figure(fig, n_rows):
+    assert fig.columns == ["ranks", "nodes", "sync GB/s", "est sync GB/s",
+                           "async GB/s", "est async GB/s"]
+    assert len(fig.rows) == n_rows
+    assert 0.0 <= fig.meta["r2 async"] <= 1.0
+    assert all(v > 0 for v in fig.column("sync GB/s"))
+    assert all(v > 0 for v in fig.column("async GB/s"))
+
+
+def test_fig3a_pipeline(tiny_scales):
+    _check_bandwidth_figure(figures.fig3a("quick"), 3)
+
+
+def test_fig3d_pipeline(tiny_scales):
+    _check_bandwidth_figure(figures.fig3d("quick"), 3)
+
+
+def test_fig4c_pipeline(tiny_scales):
+    _check_bandwidth_figure(figures.fig4c("quick"), 2)
+
+
+def test_fig6_pipeline(tiny_scales):
+    _check_bandwidth_figure(figures.fig6("quick"), 2)
+
+
+def test_fig5_pipeline(tiny_scales):
+    _check_bandwidth_figure(figures.fig5("quick"), 2)
+
+
+def test_microbench_figures():
+    mem = figures.microbench_memcpy("quick")
+    gpu = figures.microbench_gpu("quick")
+    assert mem.columns[0] == "size MiB"
+    assert len(mem.rows) == len(gpu.rows) == 10

@@ -1,0 +1,131 @@
+"""Tests for HDF5 attributes (self-describing metadata)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine
+from repro.mpi import MPIJob
+from repro.platform import Cluster
+from repro.platform import testbed as make_testbed
+from repro.hdf5 import FLOAT32, AttributeSet, H5Library, NativeVOL
+from repro.hdf5.attributes import MAX_ATTR_BYTES
+
+
+def test_scalar_attributes_roundtrip():
+    attrs = AttributeSet()
+    attrs["nsteps"] = 100
+    attrs["dt"] = 0.5
+    attrs["code"] = "vpic"
+    attrs["restart"] = False
+    assert attrs["nsteps"] == 100
+    assert attrs["dt"] == 0.5
+    assert attrs["code"] == "vpic"
+    assert attrs["restart"] is False
+    assert len(attrs) == 4
+    assert "dt" in attrs
+    assert attrs.keys() == ["code", "dt", "nsteps", "restart"]
+
+
+def test_array_attributes_copied_both_ways():
+    attrs = AttributeSet()
+    original = np.arange(4.0)
+    attrs["origin"] = original
+    original[:] = -1.0  # writer's array mutated after set
+    got = attrs["origin"]
+    assert np.allclose(got, np.arange(4.0))
+    got[:] = 99.0  # reader's copy mutated
+    assert np.allclose(attrs["origin"], np.arange(4.0))
+
+
+def test_list_and_tuple_normalized_to_array():
+    attrs = AttributeSet()
+    attrs["dims"] = [256, 256, 256]
+    attrs["spacing"] = (0.5, 0.5, 1.0)
+    assert isinstance(attrs["dims"], np.ndarray)
+    assert np.allclose(attrs["spacing"], [0.5, 0.5, 1.0])
+
+
+def test_attribute_validation():
+    attrs = AttributeSet()
+    with pytest.raises(ValueError):
+        attrs["a/b"] = 1
+    with pytest.raises(ValueError):
+        attrs[""] = 1
+    with pytest.raises(TypeError):
+        attrs["obj"] = object()
+    with pytest.raises(ValueError):
+        attrs["huge"] = np.zeros(MAX_ATTR_BYTES)  # 8x over the limit
+    with pytest.raises(KeyError):
+        attrs["missing"]
+    with pytest.raises(KeyError):
+        del attrs["missing"]
+
+
+def test_get_update_delete_as_dict():
+    attrs = AttributeSet()
+    attrs.update({"a": 1, "b": 2.0})
+    assert attrs.get("a") == 1
+    assert attrs.get("zz", "fallback") == "fallback"
+    del attrs["a"]
+    assert attrs.as_dict() == {"b": 2.0}
+
+
+def test_attributes_on_file_group_dataset():
+    eng = Engine()
+    cluster = Cluster(eng, make_testbed(nodes=1, ranks_per_node=4), 1)
+    lib = H5Library(cluster)
+    vol = NativeVOL()
+    job = MPIJob(cluster, 2, ranks_per_node=4)
+
+    def program(ctx):
+        f = yield from lib.create(ctx, "/meta.h5", vol)
+        if ctx.rank == 0:
+            f.attrs["created_by"] = "repro"
+        g = f.create_group("Step#0")
+        if ctx.rank == 0:
+            g.attrs["time"] = 12.5
+        d = g.create_dataset("x", shape=(8,), dtype=FLOAT32)
+        if ctx.rank == 0:
+            d.attrs["units"] = "m/s"
+        yield from ctx.barrier()
+        # rank 1 sees rank 0's metadata (shared stored objects)
+        out = (f.attrs["created_by"], g.attrs["time"], d.attrs["units"])
+        yield from f.close()
+        return out
+
+    for created_by, time, units in job.run(program):
+        assert created_by == "repro"
+        assert time == 12.5
+        assert units == "m/s"
+
+
+def test_group_attrs_requires_existing_group():
+    eng = Engine()
+    cluster = Cluster(eng, make_testbed(nodes=1), 1)
+    lib = H5Library(cluster)
+    stored = lib.stored_file("/g.h5")
+    with pytest.raises(KeyError):
+        stored.group_attrs("/nope")
+
+
+@given(
+    names=st.lists(
+        st.text(alphabet="abcdefgh_123", min_size=1, max_size=8),
+        min_size=1, max_size=10, unique=True,
+    ),
+    values=st.lists(st.one_of(st.integers(-1000, 1000),
+                              st.floats(allow_nan=False, allow_infinity=False,
+                                        width=32)),
+                    min_size=10, max_size=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_attrs_behave_like_dict(names, values):
+    attrs = AttributeSet()
+    reference = {}
+    for name, value in zip(names, values):
+        attrs[name] = value
+        reference[name] = value
+    assert attrs.as_dict() == pytest.approx(reference)
+    assert attrs.keys() == sorted(reference)

@@ -1,0 +1,135 @@
+"""Tests for chunked dataset layout (per-chunk storage requests)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine
+from repro.mpi import MPIJob
+from repro.platform import Cluster
+from repro.platform import testbed as make_testbed
+from repro.hdf5 import FLOAT64, AsyncVOL, H5Library, Hyperslab, NativeVOL, slab_1d
+
+MiB = 1 << 20
+
+
+def make_env(nprocs=1):
+    eng = Engine()
+    cluster = Cluster(eng, make_testbed(nodes=1, ranks_per_node=4), 1)
+    job = MPIJob(cluster, nprocs, ranks_per_node=4)
+    lib = H5Library(cluster)
+    return eng, cluster, job, lib
+
+
+def test_request_sizes_contiguous():
+    eng, cluster, job, lib = make_env()
+    stored = lib.stored_file("/c.h5").ensure_dataset(
+        "/d", (1000,), FLOAT64, materialize_limit=0
+    )
+    assert stored.chunks is None
+    assert stored.request_sizes(Hyperslab((0,), (1000,))) == [8000.0]
+
+
+def test_request_sizes_chunked_exact_and_partial():
+    eng, cluster, job, lib = make_env()
+    stored = lib.stored_file("/c.h5").ensure_dataset(
+        "/d", (1000,), FLOAT64, materialize_limit=0, chunks=(100,)
+    )
+    assert stored.chunk_bytes == 800
+    # 250 elements = 2000 B = 2 full chunks + 400 B remainder
+    sizes = stored.request_sizes(Hyperslab((0,), (250,)))
+    assert sizes == [800.0, 800.0, 400.0]
+    # exact multiple: no remainder request
+    assert stored.request_sizes(Hyperslab((0,), (200,))) == [800.0, 800.0]
+
+
+def test_chunk_validation():
+    eng, cluster, job, lib = make_env()
+    f = lib.stored_file("/v.h5")
+    with pytest.raises(ValueError):
+        f.ensure_dataset("/bad", (10, 10), FLOAT64, 0, chunks=(5,))
+    with pytest.raises(ValueError):
+        f.ensure_dataset("/bad2", (10,), FLOAT64, 0, chunks=(0,))
+    f.ensure_dataset("/ok", (10,), FLOAT64, 0, chunks=(5,))
+    with pytest.raises(ValueError):
+        f.ensure_dataset("/ok", (10,), FLOAT64, 0, chunks=(2,))
+
+
+def test_small_chunks_slower_than_contiguous_sync():
+    """Each chunk pays its own metadata latency: tiny chunks hurt."""
+
+    def run(chunks):
+        eng, cluster, job, lib = make_env()
+        vol = NativeVOL()
+
+        def program(ctx):
+            f = yield from lib.create(ctx, "/t.h5", vol)
+            d = f.create_dataset("/d", shape=(8 * MiB,), dtype=FLOAT64,
+                                 chunks=chunks)
+            t0 = ctx.now
+            yield from d.write(phase=0)
+            dt = ctx.now - t0
+            yield from f.close()
+            return dt
+
+        return job.run(program)[0]
+
+    contiguous = run(None)
+    chunky = run((MiB // 4,))  # 32 chunks of 2 MiB
+    assert chunky > 2 * contiguous
+
+
+def test_chunked_async_write_completes():
+    eng, cluster, job, lib = make_env()
+    vol = AsyncVOL(init_time=0.0)
+
+    def program(ctx):
+        f = yield from lib.create(ctx, "/a.h5", vol)
+        d = f.create_dataset("/d", shape=(4 * MiB,), dtype=FLOAT64,
+                             chunks=(MiB,))
+        yield from d.write(phase=0)
+        yield from f.close()
+
+    job.run(program)
+    rec = vol.log.select(op="write")[0]
+    assert rec.nbytes == 4 * MiB * 8  # record covers the whole API call
+    import math
+    assert math.isfinite(rec.t_complete)
+
+
+def test_chunked_read_roundtrip():
+    eng, cluster, job, lib = make_env(nprocs=2)
+    vol = NativeVOL()
+
+    def program(ctx):
+        import numpy as np
+        f = yield from lib.create(ctx, "/r.h5", vol)
+        d = f.create_dataset("/d", shape=(64,), dtype=FLOAT64, chunks=(16,))
+        yield from d.write(slab_1d(ctx.rank, 32),
+                           data=np.full(32, float(ctx.rank)), phase=0)
+        yield from ctx.barrier()
+        got = yield from d.read(slab_1d(1 - ctx.rank, 32), phase=1)
+        yield from f.close()
+        return got
+
+    r0, r1 = job.run(program)
+    assert all(v == 1.0 for v in r0)
+    assert all(v == 0.0 for v in r1)
+
+
+@given(
+    n_elems=st.integers(min_value=1, max_value=10_000),
+    chunk=st.integers(min_value=1, max_value=2_000),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_request_sizes_partition_selection(n_elems, chunk):
+    """Chunk requests always sum to the selection size, each request is
+    positive and at most one is smaller than the chunk size."""
+    eng, cluster, job, lib = make_env()
+    stored = lib.stored_file("/p.h5").ensure_dataset(
+        f"/d{n_elems}_{chunk}", (n_elems,), FLOAT64, 0, chunks=(chunk,)
+    )
+    sizes = stored.request_sizes(Hyperslab((0,), (n_elems,)))
+    assert sum(sizes) == pytest.approx(n_elems * 8)
+    assert all(s > 0 for s in sizes)
+    assert sum(1 for s in sizes if s < stored.chunk_bytes) <= 1

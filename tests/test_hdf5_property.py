@@ -1,0 +1,123 @@
+"""Property-based tests on VOL connector invariants.
+
+Random operation sequences over random sizes must always preserve:
+
+- durability: every operation has a finite completion time after close;
+- ordering (single background stream): completions in submission order;
+- accounting: bytes written reach the file target exactly once;
+- staging hygiene: all staging reservations released at quiescence.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine
+from repro.mpi import MPIJob
+from repro.platform import Cluster
+from repro.platform import testbed as make_testbed
+from repro.hdf5 import FLOAT64, AsyncVOL, EventSet, H5Library, NativeVOL, slab_1d
+
+KiB = 1 << 10
+
+
+def run_program(vol_factory, op_sizes, nprocs=2, compute_gaps=None):
+    eng = Engine()
+    cluster = Cluster(eng, make_testbed(nodes=1, ranks_per_node=4), 1)
+    job = MPIJob(cluster, nprocs, ranks_per_node=4)
+    lib = H5Library(cluster)
+    vol = vol_factory()
+    gaps = compute_gaps or [0.0] * len(op_sizes)
+
+    def program(ctx):
+        f = yield from lib.create(ctx, "/prop.h5", vol)
+        es = EventSet(ctx.engine)
+        for i, (size_kib, gap) in enumerate(zip(op_sizes, gaps)):
+            if gap:
+                yield ctx.compute(gap)
+            d = f.create_dataset(
+                f"/d{i}", shape=(size_kib * KiB * ctx.size,), dtype=FLOAT64
+            )
+            yield from d.write(slab_1d(ctx.rank, size_kib * KiB),
+                               phase=i, es=es)
+        yield from es.wait()
+        yield from f.close()
+        return ctx.now
+
+    job.run(program)
+    return vol, lib, cluster
+
+
+@given(
+    op_sizes=st.lists(st.integers(min_value=1, max_value=512),
+                      min_size=1, max_size=8),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_async_all_ops_durable_and_ordered(op_sizes):
+    vol, lib, cluster = run_program(
+        lambda: AsyncVOL(init_time=0.0), op_sizes
+    )
+    records = vol.log.select(op="write")
+    assert len(records) == 2 * len(op_sizes)
+    for r in records:
+        assert math.isfinite(r.t_complete)
+        assert r.t_complete >= r.t_unblocked >= r.t_submit
+    # single background stream: per-rank completion order == submit order
+    for rank in (0, 1):
+        mine = vol.log.select(op="write", rank=rank)
+        submits = [r.t_submit for r in mine]
+        completes = [r.t_complete for r in mine]
+        assert submits == sorted(submits)
+        assert completes == sorted(completes)
+
+
+@given(
+    op_sizes=st.lists(st.integers(min_value=1, max_value=256),
+                      min_size=1, max_size=6),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_bytes_reach_target_once(op_sizes):
+    for factory in (NativeVOL, lambda: AsyncVOL(init_time=0.0)):
+        vol, lib, cluster = run_program(factory, op_sizes)
+        expected = sum(s * KiB * 8 for s in op_sizes) * 2  # both ranks
+        stored = lib.files["/prop.h5"]
+        assert stored.target.bytes_written == pytest.approx(expected)
+        for dset in stored.datasets.values():
+            assert dset.coverage_1d() == pytest.approx(1.0)
+
+
+@given(
+    op_sizes=st.lists(st.integers(min_value=1, max_value=128),
+                      min_size=1, max_size=6),
+    gaps=st.lists(st.floats(min_value=0.0, max_value=2.0),
+                  min_size=6, max_size=6),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_staging_fully_released(op_sizes, gaps):
+    vol, lib, cluster = run_program(
+        lambda: AsyncVOL(init_time=0.0), op_sizes,
+        compute_gaps=gaps[: len(op_sizes)],
+    )
+    for buf in vol._staging.values():
+        assert buf.used == pytest.approx(0.0)
+        assert not buf._waiters
+
+
+@given(
+    op_sizes=st.lists(st.integers(min_value=1, max_value=256),
+                      min_size=1, max_size=6),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_sync_and_async_agree_on_data_moved(op_sizes):
+    """Both connectors move identical byte totals for the same program;
+    async never blocks longer than sync in aggregate."""
+    sync_vol, _, _ = run_program(NativeVOL, op_sizes)
+    async_vol, _, _ = run_program(lambda: AsyncVOL(init_time=0.0), op_sizes)
+    sync_bytes = sum(r.nbytes for r in sync_vol.log.records)
+    async_bytes = sum(r.nbytes for r in async_vol.log.records)
+    assert sync_bytes == pytest.approx(async_bytes)
+    sync_blocked = max(sync_vol.log.total_blocking_time(r) for r in (0, 1))
+    async_blocked = max(async_vol.log.total_blocking_time(r) for r in (0, 1))
+    assert async_blocked <= sync_blocked * 1.5 + 1e-6

@@ -1,0 +1,212 @@
+"""Tests for the Advisor and the AdaptiveVOL feedback loop (Fig. 2)."""
+
+import math
+
+import pytest
+
+from repro.sim import Engine
+from repro.mpi import MPIJob
+from repro.platform import Cluster
+from repro.platform import testbed as make_testbed
+from repro.hdf5 import FLOAT64, AsyncVOL, H5Library, NativeVOL, slab_1d
+from repro.model import (
+    Advisor,
+    AdaptiveVOL,
+    ComputeTimeModel,
+    IORateModel,
+    MeasurementHistory,
+    Mode,
+    TransactOverheadModel,
+    memcpy_microbench,
+)
+from repro.platform.memory import MemcpySpec
+
+MiB = 1 << 20
+GB = 1e9
+
+
+def make_advisor(t_comp=None, sync_rates=None):
+    comp = ComputeTimeModel()
+    if t_comp is not None:
+        comp.observe(t_comp)
+    history = MeasurementHistory()
+    if sync_rates:
+        for size, ranks, rate in sync_rates:
+            history.record(size, ranks, rate, mode="sync")
+    rate_model = IORateModel(history, mode="sync")
+    transact = TransactOverheadModel.from_memcpy_spec(MemcpySpec())
+    return Advisor(comp, rate_model, transact)
+
+
+def seeded_history(rate=2 * GB):
+    return [(1 * GB, 8, rate), (2 * GB, 8, rate), (4 * GB, 8, rate),
+            (8 * GB, 8, rate)]
+
+
+# ---------------------------------------------------------------------------
+# Advisor decisions
+# ---------------------------------------------------------------------------
+
+
+def test_advisor_falls_back_until_ready():
+    adv = make_advisor()
+    decision = adv.decide(1 * GB, 8)
+    assert decision.mode is Mode.SYNC
+    assert math.isnan(decision.est_sync_epoch)
+
+
+def test_advisor_picks_async_for_long_compute():
+    adv = make_advisor(t_comp=30.0, sync_rates=seeded_history())
+    decision = adv.decide(4 * GB, 8)
+    # t_io = 2s at 2 GB/s; transact ~ 65ms: async epoch ~30.07 vs sync 32
+    assert decision.mode is Mode.ASYNC
+    assert decision.est_async_epoch < decision.est_sync_epoch
+    assert decision.predicted_speedup > 1.0
+
+
+def test_advisor_picks_sync_for_tiny_compute():
+    adv = make_advisor(t_comp=0.001, sync_rates=seeded_history(rate=100 * GB))
+    decision = adv.decide(1 * MiB * 8, 8)
+    # I/O is nearly free; the staging copy dominates -> stay sync
+    assert decision.mode is Mode.SYNC
+
+
+def test_advisor_hysteresis_margin():
+    history = MeasurementHistory()
+    for size, ranks, rate in seeded_history(rate=2 * GB):
+        history.record(size, ranks, rate, mode="sync")
+    comp = ComputeTimeModel()
+    comp.observe(0.3)  # marginal benefit regime
+    transact = TransactOverheadModel.from_memcpy_spec(MemcpySpec())
+    eager = Advisor(comp, IORateModel(history, "sync"), transact, margin=0.0)
+    cautious = Advisor(comp, IORateModel(history, "sync"), transact, margin=10.0)
+    d_eager = eager.decide(4 * GB, 8)
+    d_cautious = cautious.decide(4 * GB, 8)
+    assert d_eager.mode is Mode.ASYNC
+    assert d_cautious.mode is Mode.SYNC  # same estimates, higher bar
+
+
+def test_advisor_validation():
+    with pytest.raises(ValueError):
+        Advisor(ComputeTimeModel(), IORateModel(MeasurementHistory(), "sync"),
+                TransactOverheadModel(), margin=-1.0)
+
+
+def test_microbench_feeds_transact_model():
+    machine = make_testbed()
+    samples = memcpy_microbench(machine)
+    model = TransactOverheadModel.from_samples(
+        [s.nbytes for s in samples], [s.seconds for s in samples]
+    )
+    assert model.r2 > 0.999
+    expected = machine.node.memcpy.per_copy.transfer_time(64 * MiB)
+    assert model.estimate(64 * MiB) == pytest.approx(expected, rel=0.01)
+
+
+def test_gpu_microbench_pinned_faster():
+    from repro.model import gpu_transfer_microbench
+    machine = make_testbed()
+    pinned = gpu_transfer_microbench(machine, pinned=True)
+    pageable = gpu_transfer_microbench(machine, pinned=False)
+    for p, q in zip(pinned, pageable):
+        assert p.seconds < q.seconds
+    from repro.platform import cori_haswell
+    with pytest.raises(ValueError):
+        gpu_transfer_microbench(cori_haswell())
+
+
+# ---------------------------------------------------------------------------
+# AdaptiveVOL end-to-end
+# ---------------------------------------------------------------------------
+
+
+def run_adaptive(n_epochs=6, compute_seconds=5.0, nprocs=4, n_elems=32 * MiB):
+    eng = Engine()
+    cluster = Cluster(eng, make_testbed(nodes=1, ranks_per_node=4), 1)
+    job = MPIJob(cluster, nprocs, ranks_per_node=4)
+    lib = H5Library(cluster)
+    history = MeasurementHistory()
+    advisor = Advisor(
+        ComputeTimeModel(),
+        IORateModel(history, mode="sync", min_samples=3),
+        TransactOverheadModel.from_memcpy_spec(cluster.machine.node.memcpy),
+    )
+    vol = AdaptiveVOL(NativeVOL(), AsyncVOL(init_time=0.0), advisor,
+                      nranks=nprocs)
+
+    def program(ctx):
+        f = yield from lib.create(ctx, "/adaptive.h5", vol)
+        for epoch in range(n_epochs):
+            yield ctx.compute(compute_seconds)
+            d = f.create_dataset(f"/step{epoch}/x", shape=(nprocs * n_elems,),
+                                 dtype=FLOAT64)
+            yield from d.write(slab_1d(ctx.rank, n_elems), phase=epoch)
+        yield from f.close()
+        return ctx.now
+
+    job.run(program)
+    return vol, advisor
+
+
+def test_adaptive_starts_sync_then_switches_to_async():
+    vol, advisor = run_adaptive(compute_seconds=5.0)
+    modes = [m for _, m in vol.mode_trace]
+    assert modes[0] is Mode.SYNC  # cold start: fallback
+    assert modes[-1] is Mode.ASYNC  # warmed up: compute long enough
+    # once switched, it stays switched in this steady workload
+    first_async = modes.index(Mode.ASYNC)
+    assert all(m is Mode.ASYNC for m in modes[first_async:])
+
+
+def test_adaptive_stays_sync_when_compute_below_transact():
+    """Fig. 1c: t_comp << t_transact -> the advisor never leaves sync."""
+    vol, advisor = run_adaptive(compute_seconds=1e-5, n_elems=4 * MiB)
+    modes = [m for _, m in vol.mode_trace]
+    assert all(m is Mode.SYNC for m in modes)
+
+
+def test_adaptive_records_both_modes_into_history():
+    vol, advisor = run_adaptive(compute_seconds=5.0)
+    history = advisor.io_rate_model.history
+    assert len(history.select(mode="sync")) >= 3
+    assert len(history.select(mode="async")) >= 1
+
+
+def test_adaptive_compute_model_learns_gap():
+    vol, advisor = run_adaptive(compute_seconds=5.0)
+    # observed gaps include the 5s compute (plus small metadata noise)
+    assert advisor.compute_model.estimate() == pytest.approx(5.0, rel=0.2)
+
+
+def test_adaptive_one_decision_per_phase():
+    vol, advisor = run_adaptive(n_epochs=4)
+    phases = [p for p, _ in vol.mode_trace]
+    assert phases == sorted(set(phases))
+
+
+def test_advisor_r2_gate_blocks_untrusted_fits():
+    """§III-B2: below the r² quality bar the advisor keeps the fallback."""
+    import numpy as np
+    history = MeasurementHistory()
+    rng = np.random.default_rng(3)
+    # rates uncorrelated with (size, ranks): the fit cannot be trusted
+    for _ in range(20):
+        history.record(float(rng.uniform(1e9, 8e9)),
+                       int(rng.integers(8, 64)),
+                       float(rng.uniform(1e9, 100e9)), mode="sync")
+    comp = ComputeTimeModel()
+    comp.observe(30.0)
+    transact = TransactOverheadModel.from_memcpy_spec(MemcpySpec())
+    gated = Advisor(comp, IORateModel(history, "sync"), transact, min_r2=0.7)
+    decision = gated.decide(4 * GB, 8)
+    assert decision.mode is Mode.SYNC  # fallback
+    assert math.isnan(decision.est_sync_epoch)
+    # same data without the gate: the advisor acts on the (bad) fit
+    ungated = Advisor(comp, IORateModel(history, "sync"), transact)
+    assert not math.isnan(ungated.decide(4 * GB, 8).est_sync_epoch)
+
+
+def test_advisor_min_r2_validation():
+    with pytest.raises(ValueError):
+        Advisor(ComputeTimeModel(), IORateModel(MeasurementHistory(), "sync"),
+                TransactOverheadModel(), min_r2=1.5)

@@ -1,0 +1,129 @@
+"""Tests for the epoch time model (Eq. 1-3, Fig. 1 scenarios)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    EpochCosts,
+    Scenario,
+    app_time,
+    async_epoch_time,
+    classify_scenario,
+    io_time,
+    speedup,
+    sync_epoch_time,
+)
+
+
+def test_io_time_eq3():
+    assert io_time(data_size=1e9, io_rate=1e8) == pytest.approx(10.0)
+    with pytest.raises(ValueError):
+        io_time(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        io_time(1.0, 0.0)
+
+
+def test_sync_epoch_eq2a():
+    c = EpochCosts(t_comp=30.0, t_io=10.0, t_transact=1.0)
+    assert sync_epoch_time(c) == pytest.approx(40.0)
+
+
+def test_async_epoch_ideal_overlap():
+    """Fig. 1a: compute >= I/O -> epoch = compute + overhead."""
+    c = EpochCosts(t_comp=30.0, t_io=10.0, t_transact=1.0)
+    assert async_epoch_time(c) == pytest.approx(31.0)
+    assert classify_scenario(c) is Scenario.IDEAL
+
+
+def test_async_epoch_partial_overlap():
+    """Fig. 1b: compute < I/O -> epoch = (io - comp) + overhead ... if
+    that beats sync."""
+    c = EpochCosts(t_comp=10.0, t_io=30.0, t_transact=1.0)
+    assert async_epoch_time(c) == pytest.approx(21.0)
+    assert sync_epoch_time(c) == pytest.approx(40.0)
+    assert classify_scenario(c) is Scenario.PARTIAL
+
+
+def test_async_epoch_slowdown():
+    """Fig. 1c: t_comp <= t_transact -> async never wins."""
+    c = EpochCosts(t_comp=0.5, t_io=1.0, t_transact=2.0)
+    assert async_epoch_time(c) >= sync_epoch_time(c)
+    assert classify_scenario(c) is Scenario.SLOWDOWN
+
+
+def test_speedup_above_one_when_async_wins():
+    c = EpochCosts(t_comp=30.0, t_io=10.0, t_transact=1.0)
+    assert speedup(c) > 1.0
+    bad = EpochCosts(t_comp=0.1, t_io=1.0, t_transact=5.0)
+    assert speedup(bad) < 1.0
+
+
+def test_app_time_eq1_sync():
+    epochs = [EpochCosts(t_comp=10.0, t_io=5.0)] * 4
+    assert app_time(epochs, "sync", t_init=2.0, t_term=1.0) == pytest.approx(
+        2.0 + 4 * 15.0 + 1.0
+    )
+
+
+def test_app_time_eq1_async():
+    epochs = [EpochCosts(t_comp=10.0, t_io=5.0, t_transact=0.5)] * 4
+    assert app_time(epochs, "async", t_init=2.0, t_term=1.0) == pytest.approx(
+        2.0 + 4 * 10.5 + 1.0
+    )
+
+
+def test_app_time_final_drain_option():
+    epochs = [EpochCosts(t_comp=2.0, t_io=10.0, t_transact=0.5)] * 2
+    base = app_time(epochs, "async")
+    with_drain = app_time(epochs, "async", include_final_drain=True)
+    assert with_drain == pytest.approx(base + 8.0)
+
+
+def test_app_time_validation():
+    with pytest.raises(ValueError):
+        app_time([], "weird")
+    with pytest.raises(ValueError):
+        app_time([], "sync", t_init=-1.0)
+
+
+def test_epoch_costs_validation():
+    with pytest.raises(ValueError):
+        EpochCosts(t_comp=-1.0, t_io=0.0)
+
+
+@given(
+    t_comp=st.floats(min_value=0.0, max_value=1e4),
+    t_io=st.floats(min_value=0.0, max_value=1e4),
+    t_transact=st.floats(min_value=0.0, max_value=1e4),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_async_epoch_bounds(t_comp, t_io, t_transact):
+    """Eq. 2b invariants: epoch >= max component lower bounds, and the
+    paper's slowdown condition t_comp <= t_transact implies no benefit
+    whenever I/O is at least as long as compute."""
+    c = EpochCosts(t_comp=t_comp, t_io=t_io, t_transact=t_transact)
+    t_async = async_epoch_time(c)
+    assert t_async >= t_comp  # compute can never be hidden
+    assert t_async >= t_transact
+    # async epoch never beats pure compute+overhead
+    assert t_async == pytest.approx(
+        max(t_comp, t_io - t_comp) + t_transact
+    )
+    if t_comp <= t_transact and t_io >= t_comp:
+        assert t_async >= sync_epoch_time(c) - 2 * t_comp
+
+
+@given(
+    t_comp=st.floats(min_value=0.001, max_value=1e3),
+    t_io=st.floats(min_value=0.001, max_value=1e3),
+    t_transact=st.floats(min_value=0.0, max_value=1e3),
+    n=st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_app_time_additive(t_comp, t_io, t_transact, n):
+    """Eq. 1 is additive over identical epochs."""
+    c = EpochCosts(t_comp=t_comp, t_io=t_io, t_transact=t_transact)
+    for mode, epoch_fn in [("sync", sync_epoch_time), ("async", async_epoch_time)]:
+        total = app_time([c] * n, mode, t_init=1.0, t_term=2.0)
+        assert total == pytest.approx(3.0 + n * epoch_fn(c), rel=1e-9)

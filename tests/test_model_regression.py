@@ -1,0 +1,338 @@
+"""Tests for the regression machinery (Eq. 4 & 5) and the estimators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    ComputeTimeModel,
+    IORateModel,
+    IORateSample,
+    LinearLeastSquares,
+    MeasurementHistory,
+    TransactOverheadModel,
+    pearson_r2,
+    r2_score,
+)
+from repro.platform.memory import BandwidthCurve, MemcpySpec
+
+GB = 1e9
+MiB = float(1 << 20)
+
+
+# ---------------------------------------------------------------------------
+# LinearLeastSquares
+# ---------------------------------------------------------------------------
+
+
+def test_recovers_exact_linear_relation():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(1.0, 100.0, size=(50, 2))
+    beta_true = np.array([2.5, -1.25])
+    y = X @ beta_true
+    fit = LinearLeastSquares("linear").fit(X, y)
+    assert np.allclose(fit.beta, beta_true)
+    assert fit.r2 == pytest.approx(1.0)
+
+
+def test_recovers_linear_log_relation():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(1.0, 1e6, size=(60, 2))
+    y = 3.0 * np.log(X[:, 0]) + 7.0 * np.log(X[:, 1])
+    fit = LinearLeastSquares("linear-log").fit(X, y)
+    assert np.allclose(fit.beta, [3.0, 7.0])
+    assert fit.r2 == pytest.approx(1.0)
+
+
+def test_intercept_column():
+    X = np.arange(1, 11, dtype=float).reshape(-1, 1)
+    y = 4.0 * X[:, 0] + 9.0
+    fit = LinearLeastSquares("linear", intercept=True).fit(X, y)
+    assert fit.beta[0] == pytest.approx(4.0)
+    assert fit.beta[1] == pytest.approx(9.0)
+
+
+def test_predict_matches_fit():
+    X = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+    y = np.array([5.0, 11.0, 17.0])  # y = x0 + 2*x1
+    fit = LinearLeastSquares("linear").fit(X, y)
+    pred = fit.predict([[10.0, 20.0]])
+    assert pred[0] == pytest.approx(50.0)
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        LinearLeastSquares("cubic")
+    lls = LinearLeastSquares("linear-log")
+    with pytest.raises(ValueError):
+        lls.fit([[0.0, 1.0]], [1.0])  # non-positive feature for log
+    with pytest.raises(ValueError):
+        LinearLeastSquares("linear").fit([[1.0, 2.0]], [1.0, 2.0])
+    with pytest.raises(RuntimeError):
+        LinearLeastSquares("linear").predict([[1.0, 2.0]])
+    with pytest.raises(ValueError):
+        # fewer samples than parameters
+        LinearLeastSquares("linear").fit([[1.0, 2.0]], [1.0])
+
+
+def test_r2_score_perfect_and_mean_model():
+    y = np.array([1.0, 2.0, 3.0])
+    assert r2_score(y, y) == pytest.approx(1.0)
+    assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+
+def test_r2_constant_data():
+    y = np.ones(5)
+    assert r2_score(y, y) == 1.0
+    assert r2_score(y, y + 1.0) == 0.0
+
+
+def test_pearson_r2_eq5():
+    x = np.arange(10.0)
+    assert pearson_r2(x, 3 * x + 1) == pytest.approx(1.0)
+    rng = np.random.default_rng(2)
+    noise = rng.normal(size=1000)
+    assert pearson_r2(np.arange(1000.0), noise) < 0.05
+    with pytest.raises(ValueError):
+        pearson_r2([1.0], [1.0])
+
+
+@given(
+    b0=st.floats(min_value=-10, max_value=10),
+    b1=st.floats(min_value=-10, max_value=10),
+    n=st.integers(min_value=3, max_value=40),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_exact_fit_recovery(b0, b1, n):
+    rng = np.random.default_rng(42)
+    X = rng.uniform(1.0, 50.0, size=(n, 2))
+    y = b0 * X[:, 0] + b1 * X[:, 1]
+    fit = LinearLeastSquares("linear").fit(X, y)
+    assert np.allclose(fit.predict(X), y, atol=1e-6 * (1 + np.abs(y).max()))
+
+
+# ---------------------------------------------------------------------------
+# ComputeTimeModel
+# ---------------------------------------------------------------------------
+
+
+def test_compute_model_weighted_average():
+    m = ComputeTimeModel(decay=0.5)
+    assert not m.ready
+    m.observe(10.0)
+    assert m.estimate() == pytest.approx(10.0)
+    m.observe(20.0)
+    assert m.estimate() == pytest.approx(15.0)
+    m.observe(20.0)
+    assert m.estimate() == pytest.approx(17.5)
+
+
+def test_compute_model_tracks_recent_values():
+    m = ComputeTimeModel(decay=0.7)
+    for t in [1.0] * 10 + [100.0] * 10:
+        m.observe(t)
+    assert m.estimate() > 90.0  # converged to the new regime
+
+
+def test_compute_model_validation():
+    with pytest.raises(ValueError):
+        ComputeTimeModel(decay=0.0)
+    m = ComputeTimeModel()
+    with pytest.raises(ValueError):
+        m.observe(-1.0)
+    with pytest.raises(RuntimeError):
+        m.estimate()
+
+
+# ---------------------------------------------------------------------------
+# TransactOverheadModel
+# ---------------------------------------------------------------------------
+
+
+def test_transact_fit_recovers_curve():
+    curve = BandwidthCurve(peak=8 * GB, s0=2 * MiB)
+    sizes = [2**k * MiB for k in range(0, 10)]
+    times = [curve.transfer_time(s) for s in sizes]
+    model = TransactOverheadModel.from_samples(sizes, times)
+    assert model.peak == pytest.approx(8 * GB, rel=1e-6)
+    assert model.setup == pytest.approx(2 * MiB / (8 * GB), rel=1e-6)
+    assert model.r2 == pytest.approx(1.0)
+    for s in sizes:
+        assert model.estimate(s) == pytest.approx(curve.transfer_time(s), rel=1e-9)
+
+
+def test_transact_constant_bandwidth_above_saturation():
+    model = TransactOverheadModel.from_memcpy_spec(MemcpySpec())
+    b32 = model.bandwidth(32 * MiB)
+    b512 = model.bandwidth(512 * MiB)
+    assert b512 / b32 < 1.06
+
+
+def test_transact_validation():
+    with pytest.raises(ValueError):
+        TransactOverheadModel.from_samples([1.0], [1.0])
+    with pytest.raises(ValueError):
+        TransactOverheadModel.from_samples([1.0, 2.0], [1.0])
+    m = TransactOverheadModel()
+    with pytest.raises(RuntimeError):
+        m.estimate(1.0)
+    fitted = TransactOverheadModel.from_curve(BandwidthCurve(peak=1.0, s0=0.0))
+    with pytest.raises(ValueError):
+        fitted.estimate(-1.0)
+
+
+# ---------------------------------------------------------------------------
+# History & IORateModel
+# ---------------------------------------------------------------------------
+
+
+def test_history_matrices():
+    h = MeasurementHistory()
+    h.record(1e9, 8, 5e9, mode="sync")
+    h.record(2e9, 16, 8e9, mode="sync")
+    h.record(1e9, 8, 50e9, mode="async")
+    X, Y = h.matrices(mode="sync")
+    assert X.shape == (2, 2)
+    assert Y.shape == (2,)
+    assert X[1, 1] == 16.0
+
+
+def test_history_eviction():
+    h = MeasurementHistory(max_samples=3)
+    for i in range(5):
+        h.record(1e9 + i, 1, 1e9)
+    assert len(h) == 3
+
+
+def test_history_best_rate():
+    h = MeasurementHistory()
+    h.record(1e9, 8, 5e9)
+    h.record(1e9, 8, 7e9)
+    h.record(4e9, 64, 9e9)
+    assert h.best_rate(1e9, 8) == pytest.approx(7e9)
+    assert h.best_rate(1e12, 9999) is None
+
+
+def test_history_sample_validation():
+    with pytest.raises(ValueError):
+        IORateSample(0.0, 1, 1.0)
+    with pytest.raises(ValueError):
+        IORateSample(1.0, 0, 1.0)
+    with pytest.raises(ValueError):
+        IORateSample(1.0, 1, -1.0)
+    with pytest.raises(ValueError):
+        IORateSample(1.0, 1, 1.0, mode="turbo")
+
+
+def test_io_rate_model_fits_linear_history():
+    h = MeasurementHistory()
+    # rate = 1e6*size_gb + 1e8*ranks  (synthetic linear relation)
+    for size in [1e9, 2e9, 4e9, 8e9]:
+        for ranks in [8, 16, 32]:
+            h.record(size, ranks, 1e-3 * size + 1e8 * ranks)
+    model = IORateModel(h, mode="sync").refit()
+    assert model.r2 > 0.99
+    assert model.estimate_rate(3e9, 24) == pytest.approx(
+        1e-3 * 3e9 + 1e8 * 24, rel=0.05
+    )
+
+
+def test_io_rate_model_prefers_log_for_saturating_data():
+    h = MeasurementHistory()
+    # saturating: rate ~ log(ranks), constant in size
+    for ranks in [2, 4, 8, 16, 32, 64, 128, 256]:
+        for size in [1e9, 2e9]:
+            h.record(size, ranks, 1e9 * np.log(ranks) + 5e9)
+    model = IORateModel(h, mode="sync").refit()
+    assert model.transform == "linear-log"
+    assert model.r2 > 0.95
+
+
+def test_io_rate_model_estimate_time_eq3():
+    h = MeasurementHistory()
+    for size in [1e9, 2e9, 4e9]:
+        h.record(size, 8, 2e9)
+    model = IORateModel(h, mode="sync")
+    t = model.estimate_time(4e9, 8)
+    assert t == pytest.approx(4e9 / model.estimate_rate(4e9, 8))
+
+
+def test_io_rate_model_requires_samples():
+    h = MeasurementHistory()
+    model = IORateModel(h, mode="sync")
+    assert not model.ready
+    with pytest.raises(RuntimeError):
+        model.refit()
+    with pytest.raises(ValueError):
+        IORateModel(h, mode="bogus")
+
+
+# ---------------------------------------------------------------------------
+# LinearTrendComputeModel (extension: §III-B "advanced models")
+# ---------------------------------------------------------------------------
+
+
+def test_trend_model_tracks_drift_better_than_ewma():
+    from repro.model import LinearTrendComputeModel
+    ewma = ComputeTimeModel(decay=0.7)
+    trend = LinearTrendComputeModel(window=8)
+    # compute phase grows by 1s every iteration (AMR refinement)
+    times = [10.0 + k for k in range(12)]
+    for t in times:
+        ewma.observe(t)
+        trend.observe(t)
+    true_next = 10.0 + 12
+    assert abs(trend.estimate() - true_next) < 0.01
+    assert abs(ewma.estimate() - true_next) > 0.5  # the EWMA lags
+
+
+def test_trend_model_single_observation():
+    from repro.model import LinearTrendComputeModel
+    m = LinearTrendComputeModel()
+    assert not m.ready
+    m.observe(5.0)
+    assert m.ready
+    assert m.estimate() == pytest.approx(5.0)
+
+
+def test_trend_model_window_forgets_old_regime():
+    from repro.model import LinearTrendComputeModel
+    m = LinearTrendComputeModel(window=4)
+    for t in [100.0] * 10 + [1.0] * 4:
+        m.observe(t)
+    assert m.estimate() == pytest.approx(1.0, abs=0.1)
+
+
+def test_trend_model_clamps_negative_extrapolation():
+    from repro.model import LinearTrendComputeModel
+    m = LinearTrendComputeModel(window=4)
+    for t in [3.0, 2.0, 1.0, 0.0]:
+        m.observe(t)
+    assert m.estimate() == 0.0
+
+
+def test_trend_model_validation():
+    from repro.model import LinearTrendComputeModel
+    with pytest.raises(ValueError):
+        LinearTrendComputeModel(window=1)
+    m = LinearTrendComputeModel()
+    with pytest.raises(ValueError):
+        m.observe(-1.0)
+    with pytest.raises(RuntimeError):
+        m.estimate()
+
+
+def test_trend_model_usable_in_advisor():
+    from repro.model import Advisor, LinearTrendComputeModel
+    history = MeasurementHistory()
+    for size in [1e9, 2e9, 4e9]:
+        history.record(size, 8, 2e9, mode="sync")
+    advisor = Advisor(
+        LinearTrendComputeModel(),
+        IORateModel(history, mode="sync"),
+        TransactOverheadModel.from_memcpy_spec(MemcpySpec()),
+    )
+    advisor.compute_model.observe(30.0)
+    decision = advisor.decide(4e9, 8)
+    assert decision.mode is not None

@@ -1,0 +1,378 @@
+"""Tests for the simulated MPI runtime."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine, SimulationError
+from repro.mpi import CollectiveCostModel, MPIJob
+from repro.platform import Cluster
+from repro.platform import testbed as make_testbed
+from repro.platform.spec import InterconnectSpec
+
+
+def make_job(nprocs=8, nodes=2, ranks_per_node=4):
+    eng = Engine()
+    cluster = Cluster(eng, make_testbed(nodes=nodes, ranks_per_node=ranks_per_node),
+                      nodes)
+    return MPIJob(cluster, nprocs, ranks_per_node=ranks_per_node)
+
+
+# ---------------------------------------------------------------------------
+# Cost model
+# ---------------------------------------------------------------------------
+
+
+def test_costmodel_barrier_log_depth():
+    cm = CollectiveCostModel(InterconnectSpec(alpha=1e-6, beta=1e9))
+    assert cm.barrier(1) == 0.0
+    assert cm.barrier(2) == pytest.approx(1e-6)
+    assert cm.barrier(1024) == pytest.approx(10e-6)
+    assert cm.barrier(1025) == pytest.approx(11e-6)
+
+
+def test_costmodel_bcast_bandwidth_term():
+    cm = CollectiveCostModel(InterconnectSpec(alpha=0.0, beta=1e9))
+    assert cm.bcast(2, 1e9) == pytest.approx(1.0)
+    assert cm.bcast(4, 1e9) == pytest.approx(2.0)
+
+
+def test_costmodel_allreduce_is_reduce_plus_bcast():
+    cm = CollectiveCostModel(InterconnectSpec(alpha=1e-6, beta=1e9))
+    assert cm.allreduce(16, 100.0) == pytest.approx(
+        cm.reduce(16, 100.0) + cm.bcast(16, 100.0)
+    )
+
+
+def test_costmodel_invalid_nprocs():
+    cm = CollectiveCostModel(InterconnectSpec())
+    with pytest.raises(ValueError):
+        cm.barrier(0)
+
+
+def test_costmodel_monotone_in_procs():
+    cm = CollectiveCostModel(InterconnectSpec(alpha=1e-6, beta=1e9))
+    costs = [cm.allreduce(p, 1024.0) for p in [2, 8, 64, 512]]
+    assert costs == sorted(costs)
+
+
+# ---------------------------------------------------------------------------
+# Job & placement
+# ---------------------------------------------------------------------------
+
+
+def test_job_places_ranks_blockwise():
+    job = make_job(nprocs=8, nodes=2, ranks_per_node=4)
+    assert [ctx.node.index for ctx in job.contexts] == [0, 0, 0, 0, 1, 1, 1, 1]
+    assert job.nnodes == 2
+
+
+def test_job_rejects_oversubscription():
+    eng = Engine()
+    cluster = Cluster(eng, make_testbed(nodes=2, ranks_per_node=4), 2)
+    with pytest.raises(ValueError):
+        MPIJob(cluster, nprocs=9, ranks_per_node=4)
+
+
+def test_job_uses_machine_default_density():
+    eng = Engine()
+    cluster = Cluster(eng, make_testbed(nodes=4, ranks_per_node=4), 4)
+    job = MPIJob(cluster, nprocs=16)
+    assert job.ranks_per_node == 4
+
+
+def test_job_run_returns_per_rank_results():
+    job = make_job()
+
+    def program(ctx):
+        yield ctx.compute(float(ctx.rank))
+        return ctx.rank * 10
+
+    assert job.run(program) == [r * 10 for r in range(8)]
+
+
+def test_job_propagates_rank_exception():
+    job = make_job()
+
+    def program(ctx):
+        yield ctx.compute(1.0)
+        if ctx.rank == 3:
+            raise RuntimeError("rank 3 exploded")
+        yield from ctx.barrier()
+
+    with pytest.raises((RuntimeError, SimulationError)):
+        job.run(program)
+
+
+def test_mismatched_collective_deadlocks():
+    job = make_job(nprocs=4, nodes=1, ranks_per_node=4)
+
+    def program(ctx):
+        if ctx.rank != 0:
+            yield from ctx.barrier()
+        else:
+            yield ctx.compute(1.0)
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        job.run(program)
+
+
+# ---------------------------------------------------------------------------
+# Collectives semantics
+# ---------------------------------------------------------------------------
+
+
+def test_barrier_synchronizes_ranks():
+    job = make_job(nprocs=4, nodes=1, ranks_per_node=4)
+
+    def program(ctx):
+        yield ctx.compute(float(ctx.rank))  # staggered arrivals 0..3
+        yield from ctx.barrier()
+        return ctx.now
+
+    times = job.run(program)
+    assert all(t == pytest.approx(times[0]) for t in times)
+    assert times[0] >= 3.0
+
+
+def test_bcast_delivers_root_value():
+    job = make_job(nprocs=4, nodes=1, ranks_per_node=4)
+
+    def program(ctx):
+        value = "payload" if ctx.rank == 2 else None
+        got = yield from ctx.comm.bcast(value, root=2, rank=ctx.rank)
+        return got
+
+    assert job.run(program) == ["payload"] * 4
+
+
+def test_gather_collects_in_rank_order():
+    job = make_job(nprocs=4, nodes=1, ranks_per_node=4)
+
+    def program(ctx):
+        values = yield from ctx.comm.gather(ctx.rank ** 2, rank=ctx.rank)
+        return values
+
+    for values in job.run(program):
+        assert values == [0, 1, 4, 9]
+
+
+def test_allreduce_sum_and_max():
+    job = make_job(nprocs=4, nodes=1, ranks_per_node=4)
+
+    def program(ctx):
+        total = yield from ctx.comm.allreduce(float(ctx.rank), rank=ctx.rank)
+        peak = yield from ctx.comm.allmax(float(ctx.rank), rank=ctx.rank)
+        return (total, peak)
+
+    for total, peak in job.run(program):
+        assert total == pytest.approx(6.0)
+        assert peak == pytest.approx(3.0)
+
+
+def test_repeated_collectives_reuse_cleanly():
+    job = make_job(nprocs=3, nodes=1, ranks_per_node=4)
+
+    def program(ctx):
+        results = []
+        for step in range(5):
+            s = yield from ctx.comm.allreduce(float(step + ctx.rank), rank=ctx.rank)
+            results.append(s)
+        return results
+
+    for results in job.run(program):
+        assert results == [pytest.approx(3.0 + 3 * s) for s in range(5)]
+
+
+def test_collective_cost_advances_clock():
+    eng = Engine()
+    cluster = Cluster(eng, make_testbed(nodes=1, ranks_per_node=4), 1)
+    job = MPIJob(cluster, 4, ranks_per_node=4)
+    alpha = cluster.machine.interconnect.alpha
+
+    def program(ctx):
+        yield from ctx.barrier()
+        return ctx.now
+
+    times = job.run(program)
+    assert times[0] == pytest.approx(alpha * 2)  # log2(4) = 2 hops
+
+
+def test_rank_context_validation():
+    job = make_job(nprocs=2, nodes=1, ranks_per_node=4)
+    ctx = job.contexts[0]
+    with pytest.raises(ValueError):
+        ctx.compute(-1.0)
+
+
+@given(nprocs=st.integers(min_value=1, max_value=32))
+@settings(max_examples=25, deadline=None)
+def test_property_allreduce_correct_for_any_size(nprocs):
+    eng = Engine()
+    nodes = (nprocs + 3) // 4
+    cluster = Cluster(eng, make_testbed(nodes=max(nodes, 1), ranks_per_node=4),
+                      max(nodes, 1))
+    job = MPIJob(cluster, nprocs, ranks_per_node=4)
+
+    def program(ctx):
+        total = yield from ctx.comm.allreduce(1.0, rank=ctx.rank)
+        return total
+
+    assert job.run(program) == [pytest.approx(float(nprocs))] * nprocs
+
+
+# ---------------------------------------------------------------------------
+# Point-to-point
+# ---------------------------------------------------------------------------
+
+
+def test_send_recv_delivers_value():
+    job = make_job(nprocs=2, nodes=1, ranks_per_node=4)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send({"k": 7}, dest=1, rank=0, nbytes=1e6)
+            return None
+        value = yield from ctx.comm.recv(source=0, rank=1)
+        return value
+
+    assert job.run(program)[1] == {"k": 7}
+
+
+def test_send_recv_charges_transfer_time():
+    job = make_job(nprocs=2, nodes=1, ranks_per_node=4)
+    beta = job.cluster.machine.interconnect.beta
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send("x", dest=1, rank=0, nbytes=1e9)
+        else:
+            yield from ctx.comm.recv(source=0, rank=1)
+        return ctx.now
+
+    times = job.run(program)
+    expected = job.cluster.machine.interconnect.alpha + 1e9 / beta
+    assert times[1] == pytest.approx(expected, rel=1e-6)
+
+
+def test_irecv_overlaps_compute():
+    job = make_job(nprocs=2, nodes=1, ranks_per_node=4)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield ctx.compute(3.0)
+            yield from ctx.comm.send("late", dest=1, rank=0)
+            return None
+        req = ctx.comm.irecv(source=0, rank=1)
+        yield ctx.compute(5.0)  # overlap the wait with work
+        assert req.complete  # message arrived at t=3 during compute
+        value = yield req
+        return (value, ctx.now)
+
+    value, t = job.run(program)[1]
+    assert value == "late"
+    assert t == pytest.approx(5.0, rel=1e-3)
+
+
+def test_messages_matched_in_order_per_tag():
+    job = make_job(nprocs=2, nodes=1, ranks_per_node=4)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            for i in range(3):
+                yield from ctx.comm.send(i, dest=1, rank=0)
+            return None
+        got = []
+        for _ in range(3):
+            got.append((yield from ctx.comm.recv(source=0, rank=1)))
+        return got
+
+    assert job.run(program)[1] == [0, 1, 2]
+
+
+def test_tags_separate_message_streams():
+    job = make_job(nprocs=2, nodes=1, ranks_per_node=4)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            # non-blocking: tag-1 send must not rendezvous-block while
+            # the receiver waits on tag 2 first
+            r1 = ctx.comm.isend("a", dest=1, rank=0, tag=1)
+            r2 = ctx.comm.isend("b", dest=1, rank=0, tag=2)
+            yield r1
+            yield r2
+            return None
+        b = yield from ctx.comm.recv(source=0, rank=1, tag=2)
+        a = yield from ctx.comm.recv(source=0, rank=1, tag=1)
+        return (a, b)
+
+    assert job.run(program)[1] == ("a", "b")
+
+
+def test_ring_exchange():
+    job = make_job(nprocs=4, nodes=1, ranks_per_node=4)
+
+    def program(ctx):
+        right = (ctx.rank + 1) % ctx.size
+        left = (ctx.rank - 1) % ctx.size
+        req = ctx.comm.irecv(source=left, rank=ctx.rank)
+        yield from ctx.comm.send(ctx.rank, dest=right, rank=ctx.rank)
+        value = yield req
+        return value
+
+    assert job.run(program) == [3, 0, 1, 2]
+
+
+def test_unmatched_recv_deadlocks():
+    job = make_job(nprocs=2, nodes=1, ranks_per_node=4)
+
+    def program(ctx):
+        if ctx.rank == 1:
+            yield from ctx.comm.recv(source=0, rank=1)
+        else:
+            yield ctx.compute(1.0)
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        job.run(program)
+
+
+def test_p2p_rank_validation():
+    job = make_job(nprocs=2, nodes=1, ranks_per_node=4)
+    with pytest.raises(ValueError):
+        job.comm.isend("x", dest=5, rank=0)
+    with pytest.raises(ValueError):
+        job.comm.irecv(source=-1, rank=0)
+
+
+@given(
+    n_messages=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_p2p_fifo_per_channel(n_messages, seed):
+    """Messages between one (src, dst, tag) pair always arrive in send
+    order, regardless of how sends/recvs interleave in time."""
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    send_gaps = rng.uniform(0.0, 2.0, n_messages).tolist()
+    recv_gaps = rng.uniform(0.0, 2.0, n_messages).tolist()
+    job = make_job(nprocs=2, nodes=1, ranks_per_node=4)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            reqs = []
+            for i, gap in enumerate(send_gaps):
+                yield ctx.compute(gap)
+                reqs.append(ctx.comm.isend(i, dest=1, rank=0))
+            for r in reqs:
+                yield r
+            return None
+        got = []
+        for gap in recv_gaps:
+            yield ctx.compute(gap)
+            got.append((yield from ctx.comm.recv(source=0, rank=1)))
+        return got
+
+    assert job.run(program)[1] == list(range(n_messages))

@@ -1,0 +1,114 @@
+"""Tests for the memory bandwidth models (paper §III-B1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.memory import (
+    NVLINK2_PEAK,
+    PCIE3_PEAK,
+    BandwidthCurve,
+    GpuLinkSpec,
+    MemcpySpec,
+)
+
+MiB = float(1 << 20)
+GB = 1e9
+
+
+def test_curve_reaches_fraction_at_saturation_size():
+    curve = BandwidthCurve.from_saturation(
+        peak=10 * GB, saturation_size=32 * MiB, fraction=0.95
+    )
+    assert curve.bandwidth(32 * MiB) == pytest.approx(0.95 * 10 * GB)
+
+
+def test_curve_monotone_increasing():
+    curve = BandwidthCurve.from_saturation(peak=10 * GB, saturation_size=32 * MiB)
+    sizes = [2**k * MiB for k in range(-4, 10)]
+    bws = [curve.bandwidth(s) for s in sizes]
+    assert all(b1 < b2 for b1, b2 in zip(bws, bws[1:]))
+
+
+def test_curve_never_exceeds_peak():
+    curve = BandwidthCurve.from_saturation(peak=10 * GB, saturation_size=32 * MiB)
+    assert curve.bandwidth(1e15) < 10 * GB
+    assert curve.bandwidth(1e15) == pytest.approx(10 * GB, rel=1e-3)
+
+
+def test_paper_memcpy_constant_above_32mb():
+    """§III-B1: memcpy bandwidth ~constant for requests > 32 MB."""
+    curve = MemcpySpec().per_copy
+    b32 = curve.bandwidth(32 * MiB)
+    b256 = curve.bandwidth(256 * MiB)
+    assert b256 / b32 < 1.06  # within a few percent = "constant"
+    # while small requests are clearly penalized
+    assert curve.bandwidth(1 * MiB) < 0.5 * b32
+
+
+def test_transfer_time_affine_in_size():
+    """t(s) = (s + s0)/peak: fixed setup cost plus linear term."""
+    curve = BandwidthCurve(peak=10 * GB, s0=2 * MiB)
+    t1 = curve.transfer_time(10 * MiB)
+    t2 = curve.transfer_time(20 * MiB)
+    # doubling size less than doubles the time (setup amortization)
+    assert t2 < 2 * t1
+    assert t2 - t1 == pytest.approx(10 * MiB / (10 * GB))
+
+
+def test_zero_size_transfer_is_free():
+    curve = BandwidthCurve(peak=1 * GB, s0=MiB)
+    assert curve.transfer_time(0.0) == 0.0
+    assert curve.bandwidth(0.0) == 0.0
+
+
+def test_curve_validation():
+    with pytest.raises(ValueError):
+        BandwidthCurve(peak=0.0, s0=1.0)
+    with pytest.raises(ValueError):
+        BandwidthCurve(peak=1.0, s0=-1.0)
+    with pytest.raises(ValueError):
+        BandwidthCurve.from_saturation(peak=1.0, saturation_size=1.0, fraction=1.5)
+    with pytest.raises(ValueError):
+        BandwidthCurve(peak=1.0, s0=0.0).bandwidth(-1.0)
+
+
+def test_gpu_pinned_near_link_peak():
+    """§III-B1: pinned host memory achieves close to theoretical max."""
+    spec = GpuLinkSpec(link_peak=NVLINK2_PEAK)
+    bw = spec.curve(pinned=True).bandwidth(100 * MiB)
+    assert bw > 0.9 * NVLINK2_PEAK
+
+
+def test_gpu_pageable_slower_than_pinned():
+    spec = GpuLinkSpec(link_peak=PCIE3_PEAK)
+    pinned = spec.transfer_time(100 * MiB, pinned=True)
+    pageable = spec.transfer_time(100 * MiB, pinned=False)
+    assert pageable > pinned
+
+
+def test_gpu_amortized_above_10mb():
+    """§III-B1: GPU copy cost amortized for > 10 MB transfers."""
+    spec = GpuLinkSpec()
+    b10 = spec.curve(True).bandwidth(10 * MiB)
+    b100 = spec.curve(True).bandwidth(100 * MiB)
+    assert b100 / b10 < 1.06
+
+
+def test_memcpy_spec_validation():
+    with pytest.raises(ValueError):
+        MemcpySpec(node_aggregate=0.0)
+
+
+@given(
+    peak=st.floats(min_value=1e6, max_value=1e12),
+    s0=st.floats(min_value=0.0, max_value=1e9),
+    size=st.floats(min_value=1.0, max_value=1e12),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_time_bandwidth_consistency(peak, s0, size):
+    """bandwidth(s) * transfer_time(s) == s for every curve and size."""
+    curve = BandwidthCurve(peak=peak, s0=s0)
+    assert curve.bandwidth(size) * curve.transfer_time(size) == pytest.approx(
+        size, rel=1e-9
+    )

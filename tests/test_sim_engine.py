@@ -1,0 +1,367 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Engine, SimulationError, Timeout
+
+
+def test_time_starts_at_zero():
+    eng = Engine()
+    assert eng.now == 0.0
+
+
+def test_timeout_advances_time():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(2.5)
+        return eng.now
+
+    assert eng.run_process(proc()) == 2.5
+    assert eng.now == 2.5
+
+
+def test_timeout_value_passed_through():
+    eng = Engine()
+
+    def proc():
+        got = yield Timeout(1.0, value="payload")
+        return got
+
+    assert eng.run_process(proc()) == "payload"
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_sequential_timeouts_accumulate():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(1.0)
+        yield Timeout(2.0)
+        yield Timeout(3.0)
+        return eng.now
+
+    assert eng.run_process(proc()) == pytest.approx(6.0)
+
+
+def test_event_succeed_wakes_waiter():
+    eng = Engine()
+    ev = eng.event("ping")
+    results = []
+
+    def waiter():
+        value = yield ev
+        results.append((eng.now, value))
+
+    def trigger():
+        yield Timeout(5.0)
+        ev.succeed("hello")
+
+    eng.process(waiter())
+    eng.process(trigger())
+    eng.run()
+    assert results == [(5.0, "hello")]
+
+
+def test_event_double_trigger_raises():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_wait_on_already_triggered_event():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed(42)
+
+    def proc():
+        value = yield ev
+        return value
+
+    assert eng.run_process(proc()) == 42
+
+
+def test_event_failure_raises_in_waiter():
+    eng = Engine()
+    ev = eng.event()
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as err:
+            return f"caught {err}"
+
+    def trigger():
+        yield Timeout(1.0)
+        ev.fail(ValueError("boom"))
+
+    proc = eng.process(waiter())
+    eng.process(trigger())
+    eng.run()
+    assert proc.value == "caught boom"
+
+
+def test_process_join_returns_child_value():
+    eng = Engine()
+
+    def child():
+        yield Timeout(3.0)
+        return "child-result"
+
+    def parent():
+        result = yield eng.process(child())
+        return (eng.now, result)
+
+    assert eng.run_process(parent()) == (3.0, "child-result")
+
+
+def test_unhandled_child_exception_propagates_to_joiner():
+    eng = Engine()
+
+    def child():
+        yield Timeout(1.0)
+        raise RuntimeError("child failed")
+
+    def parent():
+        try:
+            yield eng.process(child())
+        except RuntimeError as err:
+            return str(err)
+
+    assert eng.run_process(parent()) == "child failed"
+
+
+def test_unjoined_exception_escapes_run():
+    eng = Engine()
+
+    def bad():
+        yield Timeout(1.0)
+        raise RuntimeError("unjoined")
+
+    eng.process(bad())
+    with pytest.raises(RuntimeError, match="unjoined"):
+        eng.run()
+
+
+def test_all_of_waits_for_all():
+    eng = Engine()
+
+    def worker(duration, value):
+        yield Timeout(duration)
+        return value
+
+    def parent():
+        procs = [eng.process(worker(d, i)) for i, d in enumerate([3.0, 1.0, 2.0])]
+        values = yield AllOf(procs)
+        return (eng.now, values)
+
+    t, values = eng.run_process(parent())
+    assert t == 3.0
+    assert values == [0, 1, 2]  # input order, not completion order
+
+
+def test_all_of_empty_fires_immediately():
+    eng = Engine()
+
+    def parent():
+        values = yield AllOf([])
+        return (eng.now, values)
+
+    assert eng.run_process(parent()) == (0.0, [])
+
+
+def test_any_of_returns_first():
+    eng = Engine()
+
+    def worker(duration, value):
+        yield Timeout(duration)
+        return value
+
+    def parent():
+        procs = [eng.process(worker(d, i)) for i, d in enumerate([3.0, 1.0, 2.0])]
+        index, value = yield AnyOf(procs)
+        return (eng.now, index, value)
+
+    assert eng.run_process(parent()) == (1.0, 1, 1)
+
+
+def test_any_of_requires_children():
+    with pytest.raises(ValueError):
+        AnyOf([])
+
+
+def test_fifo_ordering_at_same_time():
+    eng = Engine()
+    order = []
+
+    def proc(tag):
+        yield Timeout(1.0)
+        order.append(tag)
+
+    for tag in ["a", "b", "c"]:
+        eng.process(proc(tag))
+    eng.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_stops_early():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(100.0)
+
+    eng.process(proc())
+    stopped = eng.run(until=10.0)
+    assert stopped == 10.0
+    assert eng.now == 10.0
+
+
+def test_deadlock_detected():
+    eng = Engine()
+
+    def proc():
+        yield eng.event("never")
+
+    with pytest.raises(SimulationError, match="deadlocked"):
+        eng.run_process(proc())
+
+
+def test_schedule_into_past_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.schedule(-1.0, lambda: None)
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        eng = Engine()
+        log = []
+
+        def proc(tag, delays):
+            for d in delays:
+                yield Timeout(d)
+                log.append((eng.now, tag))
+
+        eng.process(proc("x", [1.0, 1.0, 1.0]))
+        eng.process(proc("y", [1.5, 1.5]))
+        eng.process(proc("z", [3.0]))
+        eng.run()
+        return log
+
+    assert build() == build()
+
+
+def test_many_processes_scale():
+    eng = Engine()
+    done = []
+
+    def proc(i):
+        yield Timeout(float(i % 7))
+        done.append(i)
+
+    for i in range(5000):
+        eng.process(proc(i))
+    eng.run()
+    assert len(done) == 5000
+
+
+def test_any_of_failure_propagates():
+    eng = Engine()
+
+    def failing():
+        yield Timeout(1.0)
+        raise ValueError("first failure")
+
+    def slow():
+        yield Timeout(10.0)
+        return "ok"
+
+    def parent():
+        try:
+            yield AnyOf([eng.process(failing()), eng.process(slow())])
+        except ValueError as err:
+            return f"caught {err} at {eng.now}"
+
+    assert eng.run_process(parent()) == "caught first failure at 1.0"
+
+
+def test_all_of_failure_short_circuits():
+    eng = Engine()
+
+    def failing():
+        yield Timeout(1.0)
+        raise RuntimeError("member died")
+
+    def slow():
+        yield Timeout(10.0)
+
+    def parent():
+        try:
+            yield AllOf([eng.process(failing()), eng.process(slow())])
+        except RuntimeError:
+            return eng.now
+
+    # failure surfaces at t=1, without waiting for the slow member
+    assert eng.run_process(parent()) == 1.0
+
+
+def test_priority_late_runs_after_normal_at_same_time():
+    from repro.sim.engine import PRIORITY_LATE
+    eng = Engine()
+    order = []
+    eng.schedule(1.0, lambda: order.append("late"), priority=PRIORITY_LATE)
+    eng.schedule(1.0, lambda: order.append("normal1"))
+    eng.schedule(1.0, lambda: order.append("normal2"))
+    eng.run()
+    assert order == ["normal1", "normal2", "late"]
+
+
+def test_delayed_fail_raises_at_fire_time():
+    eng = Engine()
+    ev = eng.event()
+    ev.fail(ValueError("later"), delay=3.0)
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError:
+            return eng.now
+
+    assert eng.run_process(waiter()) == 3.0
+
+
+def test_event_value_and_flags():
+    eng = Engine()
+    ev = eng.event("x")
+    assert not ev.triggered and not ev.ok
+    ev.succeed("v")
+    assert ev.triggered and ev.ok
+    assert ev.value == "v"
+    bad = eng.event()
+    bad.fail(RuntimeError("no"))
+    assert bad.triggered and not bad.ok
+
+
+def test_engine_peek():
+    eng = Engine()
+    assert eng.peek() == float("inf")
+    eng.schedule(4.0, lambda: None)
+    assert eng.peek() == 4.0
+
+
+def test_run_process_propagates_exception():
+    eng = Engine()
+
+    def boom():
+        yield Timeout(1.0)
+        raise KeyError("k")
+
+    import pytest as _pytest
+    with _pytest.raises(KeyError):
+        eng.run_process(boom())

@@ -1,0 +1,244 @@
+"""Unit tests for simulation synchronization primitives."""
+
+import pytest
+
+from repro.sim import Barrier, Engine, Mutex, Queue, Semaphore, Timeout
+
+
+# ---------------------------------------------------------------------------
+# Semaphore / Mutex
+# ---------------------------------------------------------------------------
+
+
+def test_semaphore_limits_concurrency():
+    eng = Engine()
+    sem = Semaphore(eng, capacity=2)
+    active = [0]
+    peak = [0]
+
+    def worker():
+        yield sem.acquire()
+        active[0] += 1
+        peak[0] = max(peak[0], active[0])
+        yield Timeout(1.0)
+        active[0] -= 1
+        sem.release()
+
+    for _ in range(6):
+        eng.process(worker())
+    eng.run()
+    assert peak[0] == 2
+    assert eng.now == pytest.approx(3.0)  # 6 jobs, 2 wide, 1s each
+
+
+def test_semaphore_fifo_wakeup():
+    eng = Engine()
+    sem = Semaphore(eng, capacity=1)
+    order = []
+
+    def worker(tag):
+        yield sem.acquire()
+        order.append(tag)
+        yield Timeout(1.0)
+        sem.release()
+
+    for tag in "abcd":
+        eng.process(worker(tag))
+    eng.run()
+    assert order == list("abcd")
+
+
+def test_semaphore_release_unheld_raises():
+    eng = Engine()
+    sem = Semaphore(eng)
+    with pytest.raises(RuntimeError):
+        sem.release()
+
+
+def test_semaphore_invalid_capacity():
+    with pytest.raises(ValueError):
+        Semaphore(Engine(), capacity=0)
+
+
+def test_mutex_is_binary():
+    eng = Engine()
+    m = Mutex(eng)
+    assert m.capacity == 1
+
+
+def test_semaphore_counters():
+    eng = Engine()
+    sem = Semaphore(eng, capacity=1)
+
+    def holder():
+        yield sem.acquire()
+        assert sem.in_use == 1
+        yield Timeout(2.0)
+        sem.release()
+
+    def contender():
+        yield Timeout(1.0)
+        acq = sem.acquire()
+        assert sem.queued == 1
+        yield acq
+        sem.release()
+
+    eng.process(holder())
+    eng.process(contender())
+    eng.run()
+    assert sem.in_use == 0
+    assert sem.queued == 0
+
+
+# ---------------------------------------------------------------------------
+# Queue
+# ---------------------------------------------------------------------------
+
+
+def test_queue_put_then_get():
+    eng = Engine()
+    q = Queue(eng)
+    q.put("item")
+
+    def consumer():
+        item = yield q.get()
+        return item
+
+    assert eng.run_process(consumer()) == "item"
+
+
+def test_queue_get_blocks_until_put():
+    eng = Engine()
+    q = Queue(eng)
+
+    def consumer():
+        item = yield q.get()
+        return (eng.now, item)
+
+    def producer():
+        yield Timeout(4.0)
+        q.put("late")
+
+    proc = eng.process(consumer())
+    eng.process(producer())
+    eng.run()
+    assert proc.value == (4.0, "late")
+
+
+def test_queue_fifo_items_and_getters():
+    eng = Engine()
+    q = Queue(eng)
+    got = []
+
+    def consumer(tag):
+        item = yield q.get()
+        got.append((tag, item))
+
+    eng.process(consumer("c1"))
+    eng.process(consumer("c2"))
+
+    def producer():
+        yield Timeout(1.0)
+        q.put("first")
+        q.put("second")
+
+    eng.process(producer())
+    eng.run()
+    assert got == [("c1", "first"), ("c2", "second")]
+
+
+def test_queue_close_releases_getters_with_sentinel():
+    eng = Engine()
+    q = Queue(eng)
+
+    def consumer():
+        item = yield q.get()
+        return item is Queue.CLOSED
+
+    proc = eng.process(consumer())
+
+    def closer():
+        yield Timeout(1.0)
+        q.close()
+
+    eng.process(closer())
+    eng.run()
+    assert proc.value is True
+
+
+def test_queue_drains_before_closed_sentinel():
+    eng = Engine()
+    q = Queue(eng)
+    q.put(1)
+    q.close()
+
+    def consumer():
+        first = yield q.get()
+        second = yield q.get()
+        return (first, second is Queue.CLOSED)
+
+    assert eng.run_process(consumer()) == (1, True)
+
+
+def test_queue_put_after_close_raises():
+    eng = Engine()
+    q = Queue(eng)
+    q.close()
+    with pytest.raises(RuntimeError):
+        q.put(1)
+
+
+# ---------------------------------------------------------------------------
+# Barrier
+# ---------------------------------------------------------------------------
+
+
+def test_barrier_releases_all_at_once():
+    eng = Engine()
+    bar = Barrier(eng, parties=3)
+    release_times = []
+
+    def party(arrival):
+        yield Timeout(arrival)
+        yield bar.wait()
+        release_times.append(eng.now)
+
+    for arrival in [1.0, 5.0, 3.0]:
+        eng.process(party(arrival))
+    eng.run()
+    assert release_times == [5.0, 5.0, 5.0]
+
+
+def test_barrier_is_cyclic_with_generations():
+    eng = Engine()
+    bar = Barrier(eng, parties=2)
+    gens = []
+
+    def party():
+        for _ in range(3):
+            gen = yield bar.wait()
+            gens.append(gen)
+            yield Timeout(1.0)
+
+    eng.process(party())
+    eng.process(party())
+    eng.run()
+    assert sorted(gens) == [0, 0, 1, 1, 2, 2]
+    assert bar.generation == 3
+
+
+def test_barrier_single_party_never_blocks():
+    eng = Engine()
+    bar = Barrier(eng, parties=1)
+
+    def party():
+        for _ in range(5):
+            yield bar.wait()
+        return eng.now
+
+    assert eng.run_process(party()) == 0.0
+
+
+def test_barrier_invalid_parties():
+    with pytest.raises(ValueError):
+        Barrier(Engine(), parties=0)

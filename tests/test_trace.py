@@ -1,0 +1,204 @@
+"""Tests for I/O trace records and the paper-metric reductions."""
+
+import json
+import math
+
+import pytest
+
+from repro.trace import IOLog, IOOpRecord, records_to_csv, records_to_json
+
+
+def rec(rank=0, nbytes=100.0, phase=0, t0=0.0, t1=1.0, tc=None, op="write",
+        mode="sync", dataset="/d", cache_hit=False):
+    return IOOpRecord(
+        op=op, mode=mode, rank=rank, nbytes=nbytes, dataset=dataset,
+        phase=phase, t_submit=t0, t_unblocked=t1,
+        t_complete=tc if tc is not None else t1, cache_hit=cache_hit,
+    )
+
+
+def test_record_blocking_and_completion():
+    r = rec(t0=1.0, t1=3.0, tc=10.0)
+    assert r.blocking_time == pytest.approx(2.0)
+    assert r.completion_time == pytest.approx(9.0)
+    assert r.observed_rate == pytest.approx(50.0)
+
+
+def test_record_validation():
+    with pytest.raises(ValueError):
+        rec(op="append")
+    with pytest.raises(ValueError):
+        rec(mode="turbo")
+    with pytest.raises(ValueError):
+        rec(nbytes=-1.0)
+    with pytest.raises(ValueError):
+        IOOpRecord(op="write", mode="sync", rank=0, nbytes=1.0, dataset="/d",
+                   phase=0, t_submit=5.0, t_unblocked=4.0)
+
+
+def test_zero_blocking_rate_is_inf():
+    r = rec(t0=1.0, t1=1.0)
+    assert math.isinf(r.observed_rate)
+
+
+def test_log_select_filters():
+    log = IOLog()
+    log.append(rec(rank=0, op="write", phase=0))
+    log.append(rec(rank=1, op="read", phase=0))
+    log.append(rec(rank=0, op="write", phase=1, mode="async", tc=5.0))
+    assert len(log) == 3
+    assert len(log.select(op="write")) == 2
+    assert len(log.select(mode="async")) == 1
+    assert len(log.select(rank=0, phase=1)) == 1
+    assert log.phases() == [0, 1]
+    assert log.phases(op="read") == [0]
+
+
+def test_phase_io_time_is_slowest_rank():
+    log = IOLog()
+    # rank 0: two ops totalling 3s; rank 1: one op of 5s
+    log.append(rec(rank=0, t0=0.0, t1=1.0, phase=0))
+    log.append(rec(rank=0, t0=1.0, t1=3.0, phase=0))
+    log.append(rec(rank=1, t0=0.0, t1=5.0, phase=0))
+    assert log.phase_io_time(0) == pytest.approx(5.0)
+
+
+def test_phase_bandwidth_aggregates_bytes():
+    log = IOLog()
+    log.append(rec(rank=0, nbytes=100.0, t0=0.0, t1=2.0, phase=0))
+    log.append(rec(rank=1, nbytes=300.0, t0=0.0, t1=2.0, phase=0))
+    assert log.phase_bytes(0) == pytest.approx(400.0)
+    assert log.phase_bandwidth(0) == pytest.approx(200.0)
+
+
+def test_peak_and_mean_bandwidth():
+    log = IOLog()
+    log.append(rec(phase=0, nbytes=100.0, t0=0.0, t1=1.0))
+    log.append(rec(phase=1, nbytes=100.0, t0=0.0, t1=4.0))
+    assert log.peak_bandwidth() == pytest.approx(100.0)
+    assert log.mean_bandwidth() == pytest.approx((100.0 + 25.0) / 2)
+
+
+def test_phase_metrics_validation():
+    log = IOLog()
+    with pytest.raises(ValueError):
+        log.phase_io_time(0)
+    with pytest.raises(ValueError):
+        log.peak_bandwidth()
+
+
+def test_total_blocking_time_per_rank():
+    log = IOLog()
+    log.append(rec(rank=2, t0=0.0, t1=1.5, phase=0))
+    log.append(rec(rank=2, t0=2.0, t1=2.5, phase=1))
+    assert log.total_blocking_time(2) == pytest.approx(2.0)
+    assert log.total_blocking_time(0) == 0.0
+
+
+def test_csv_export_roundtrip_fields():
+    log = IOLog()
+    log.append(rec())
+    text = records_to_csv(log.records)
+    lines = text.strip().splitlines()
+    assert lines[0].startswith("op,mode,rank,nbytes")
+    assert len(lines) == 2
+    assert "write" in lines[1]
+
+
+def test_json_export_nan_as_null():
+    r = IOOpRecord(op="write", mode="async", rank=0, nbytes=1.0, dataset="/d",
+                   phase=None, t_submit=0.0, t_unblocked=1.0)
+    rows = json.loads(records_to_json([r]))
+    assert rows[0]["t_complete"] is None
+    assert rows[0]["phase"] is None
+    assert rows[0]["mode"] == "async"
+
+
+def test_merge_keeps_submit_order():
+    a, b = IOLog(), IOLog()
+    a.append(rec(rank=0, t0=0.0, t1=1.0, phase=0))
+    a.append(rec(rank=0, t0=4.0, t1=5.0, phase=1))
+    b.append(rec(rank=1, t0=2.0, t1=3.0, phase=0))
+    merged = a.merge(b)
+    assert [r.t_submit for r in merged.records] == [0.0, 2.0, 4.0]
+    assert len(a) == 2 and len(b) == 1  # inputs untouched
+
+
+def test_per_dataset_summary():
+    log = IOLog()
+    log.append(rec(dataset="/a", nbytes=10.0, t0=0.0, t1=1.0))
+    log.append(rec(dataset="/a", nbytes=30.0, t0=1.0, t1=4.0))
+    log.append(rec(dataset="/b", nbytes=5.0, t0=0.0, t1=0.5))
+    summary = log.per_dataset_summary()
+    assert summary["/a"]["ops"] == 2
+    assert summary["/a"]["bytes"] == 40.0
+    assert summary["/a"]["mean_blocking"] == pytest.approx(2.0)
+    assert summary["/b"]["ops"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Profiler
+# ---------------------------------------------------------------------------
+
+
+def test_profile_log_fields():
+    from repro.trace import profile_log
+    log = IOLog()
+    log.append(rec(rank=0, nbytes=2 << 20, t0=0.0, t1=2.0, phase=0))
+    log.append(rec(rank=1, nbytes=64 << 20, t0=0.0, t1=4.0, phase=0,
+                   op="read", mode="async", cache_hit=True))
+    prof = profile_log(log, app_time=10.0)
+    assert prof.n_ops == 2
+    assert prof.n_ranks == 2
+    assert prof.bytes_written == 2 << 20
+    assert prof.bytes_read == 64 << 20
+    assert prof.max_io_fraction == pytest.approx(0.4)
+    assert prof.median_io_fraction == pytest.approx(0.4)
+    assert prof.size_histogram["1-32MiB"] == 1
+    assert prof.size_histogram["32MiB-1GiB"] == 1
+    assert prof.mode_counts == {"sync": 1, "async": 1}
+    assert prof.cache_hits == 1
+    assert prof.phase_table == [(0, pytest.approx(4.0),
+                                 pytest.approx(float((2 << 20) + (64 << 20))))]
+
+
+def test_profile_text_report():
+    from repro.trace import profile_log
+    log = IOLog()
+    log.append(rec(rank=0, nbytes=100.0, t0=0.0, t1=1.0, phase=0))
+    text = profile_log(log, app_time=5.0).to_text()
+    assert "I/O profile" in text
+    assert "0-4KiB" in text
+    assert "phases" in text
+
+
+def test_profile_validation():
+    from repro.trace import profile_log
+    with pytest.raises(ValueError):
+        profile_log(IOLog(), app_time=1.0)
+    log = IOLog()
+    log.append(rec())
+    with pytest.raises(ValueError):
+        profile_log(log, app_time=0.0)
+
+
+def test_profile_end_to_end_run():
+    from repro.trace import profile_log
+    from repro.sim import Engine
+    from repro.mpi import MPIJob
+    from repro.platform import Cluster
+    from repro.platform import testbed as make_testbed
+    from repro.hdf5 import AsyncVOL, H5Library
+    from repro.workloads import VPICConfig, vpic_program
+
+    eng = Engine()
+    cluster = Cluster(eng, make_testbed(nodes=1, ranks_per_node=4), 1)
+    lib = H5Library(cluster)
+    vol = AsyncVOL(init_time=0.0)
+    cfg = VPICConfig(particles_per_rank=1 << 20, steps=2, compute_seconds=3.0)
+    results = MPIJob(cluster, 4, ranks_per_node=4).run(
+        vpic_program(lib, vol, cfg))
+    prof = profile_log(vol.log, app_time=max(results))
+    assert prof.n_ops == 4 * 2 * 8
+    assert prof.max_io_fraction < 0.5  # async: mostly computing
+    assert prof.mode_counts["async"] == prof.n_ops

@@ -1,0 +1,163 @@
+"""Tests for the VPIC-IO and BD-CATS-IO kernels."""
+
+import pytest
+
+from repro.sim import Engine
+from repro.mpi import MPIJob
+from repro.platform import Cluster
+from repro.platform import testbed as make_testbed
+from repro.hdf5 import AsyncVOL, H5Library, NativeVOL
+from repro.workloads import (
+    BDCATSConfig,
+    VPICConfig,
+    bdcats_program,
+    prepopulate_vpic_file,
+    summarize_run,
+    vpic_program,
+)
+
+Mi = 1 << 20
+
+
+def run_workload(program_factory, config, vol, nprocs=4, nodes=1,
+                 ranks_per_node=4, prepopulate=None):
+    eng = Engine()
+    cluster = Cluster(eng, make_testbed(nodes=nodes, ranks_per_node=ranks_per_node),
+                      nodes)
+    job = MPIJob(cluster, nprocs, ranks_per_node=ranks_per_node)
+    lib = H5Library(cluster)
+    if prepopulate is not None:
+        prepopulate(lib, nprocs)
+    program = program_factory(lib, vol, config)
+    results = job.run(program)
+    return eng, cluster, lib, vol, results
+
+
+# Small configs keep simulations fast.
+SMALL_VPIC = VPICConfig(particles_per_rank=Mi, steps=3, compute_seconds=2.0)
+
+
+def test_vpic_config_paper_defaults():
+    cfg = VPICConfig()
+    assert cfg.particles_per_rank == 8 * Mi
+    assert cfg.n_properties == 8
+    # ≈32 MB per property per rank, 256 MiB total per rank per step
+    assert cfg.particles_per_rank * 4 == 32 * Mi
+    assert cfg.bytes_per_rank_per_step() == 256 * Mi
+    assert cfg.total_bytes(nranks=2) == 2 * 5 * 256 * Mi
+    with pytest.raises(ValueError):
+        VPICConfig(steps=0)
+    with pytest.raises(ValueError):
+        VPICConfig(compute_seconds=-1.0)
+
+
+def test_vpic_sync_writes_all_datasets():
+    vol = NativeVOL()
+    eng, cluster, lib, vol, _ = run_workload(vpic_program, SMALL_VPIC, vol)
+    stored = lib.files["/vpic.h5"]
+    assert len(stored.datasets) == 3 * 8
+    for dset in stored.datasets.values():
+        assert dset.shape == (4 * Mi,)
+        assert dset.coverage_1d() == pytest.approx(1.0)
+    recs = vol.log.select(op="write")
+    assert len(recs) == 4 * 3 * 8  # ranks * steps * properties
+    assert vol.log.phases() == [0, 1, 2]
+
+
+def test_vpic_async_faster_epochs_than_sync():
+    sync = NativeVOL()
+    run_workload(vpic_program, SMALL_VPIC, sync)
+    async_vol = AsyncVOL(init_time=0.0)
+    run_workload(vpic_program, SMALL_VPIC, async_vol)
+    sync_peak = sync.log.peak_bandwidth(op="write")
+    async_peak = async_vol.log.peak_bandwidth(op="write")
+    assert async_peak > sync_peak
+
+
+def test_vpic_app_time_structure_sync():
+    """Sync run time ≈ steps * (compute + io) + metadata overheads."""
+    vol = NativeVOL()
+    eng, cluster, lib, vol, results = run_workload(vpic_program, SMALL_VPIC, vol)
+    app_time = max(results)
+    t_io = sum(vol.log.phase_io_time(p, op="write") for p in vol.log.phases())
+    expected_min = 3 * 2.0 + t_io
+    assert app_time >= expected_min
+    assert app_time < expected_min * 1.1
+
+
+def test_vpic_async_app_time_hides_io():
+    """Compute 2s/epoch dominates: async app time ≈ compute + overheads."""
+    async_vol = AsyncVOL(init_time=0.0)
+    eng, cluster, lib, vol, results = run_workload(
+        vpic_program, SMALL_VPIC, async_vol
+    )
+    app_time = max(results)
+    transact = sum(
+        r.blocking_time for r in vol.log.select(op="write", rank=0)
+    )
+    # epochs ~ compute + staging copies; the final drain adds the last
+    # step's PFS write (cannot overlap).
+    assert app_time < 3 * 2.0 + transact + 2.5
+    assert app_time >= 3 * 2.0
+
+
+def test_summarize_run():
+    vol = NativeVOL()
+    eng, cluster, lib, vol, results = run_workload(vpic_program, SMALL_VPIC, vol)
+    stats = summarize_run(vol.log, max(results), op="write", mode="sync")
+    assert stats.n_phases == 3
+    assert stats.total_bytes == pytest.approx(SMALL_VPIC.total_bytes(4))
+    assert stats.peak_bandwidth >= stats.mean_bandwidth > 0
+
+
+def test_bdcats_matching_config():
+    cfg = BDCATSConfig.matching(SMALL_VPIC)
+    assert cfg.particles_per_rank == SMALL_VPIC.particles_per_rank
+    assert cfg.steps == SMALL_VPIC.steps
+    assert cfg.path == SMALL_VPIC.path
+    with pytest.raises(ValueError):
+        BDCATSConfig(steps=0)
+
+
+def test_bdcats_reads_prepopulated_file():
+    cfg = BDCATSConfig(particles_per_rank=Mi, steps=3, compute_seconds=2.0)
+    vol = NativeVOL()
+    eng, cluster, lib, vol, results = run_workload(
+        bdcats_program, cfg, vol,
+        prepopulate=lambda lib, n: prepopulate_vpic_file(lib, cfg, n),
+    )
+    recs = vol.log.select(op="read")
+    assert len(recs) == 4 * 3 * 8
+    assert all(r.nbytes == Mi * 4 for r in recs)
+
+
+def test_bdcats_reads_actual_vpic_output():
+    """End-to-end: BD-CATS job reads the file a VPIC job wrote."""
+    eng = Engine()
+    cluster = Cluster(eng, make_testbed(nodes=1, ranks_per_node=4), 1)
+    lib = H5Library(cluster)
+    vol = NativeVOL()
+    job = MPIJob(cluster, 4, ranks_per_node=4)
+    job.run(vpic_program(lib, vol, SMALL_VPIC))
+
+    read_vol = NativeVOL()
+    cfg = BDCATSConfig.matching(SMALL_VPIC, compute_seconds=1.0)
+    job2 = MPIJob(cluster, 4, ranks_per_node=4)
+    job2.run(bdcats_program(lib, read_vol, cfg))
+    assert len(read_vol.log.select(op="read")) == 4 * 3 * 8
+
+
+def test_bdcats_async_prefetch_beats_sync():
+    cfg = BDCATSConfig(particles_per_rank=Mi, steps=3, compute_seconds=5.0)
+    pre = lambda lib, n: prepopulate_vpic_file(lib, cfg, n)
+    sync = NativeVOL()
+    run_workload(bdcats_program, cfg, sync, prepopulate=pre)
+    async_vol = AsyncVOL(init_time=0.0)
+    run_workload(bdcats_program, cfg, async_vol, prepopulate=pre)
+    # later phases served from prefetch: orders of magnitude faster
+    sync_bw = sync.log.peak_bandwidth(op="read")
+    async_bw = async_vol.log.peak_bandwidth(op="read")
+    assert async_bw > 2 * sync_bw
+    # and the first step was still blocking
+    first = [r for r in async_vol.log.select(op="read", phase=0)]
+    assert any(not r.cache_hit for r in first)
