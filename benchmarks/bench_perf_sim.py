@@ -1,0 +1,173 @@
+"""Simulator fast-path performance regression harness.
+
+Times the optimized flow-class allocator (:mod:`repro.sim.network`)
+against the frozen per-flow reference (:mod:`repro.sim.network_ref`) on
+the traffic shapes from :mod:`repro.sim.traffic`:
+
+- ``identical_flows`` — N identical flows, the single-class best case;
+- ``mixed_classes`` — K heterogeneous classes sharing a backend;
+- ``fig3a`` — the VPIC-IO-shaped weak-scaling write phase at 1536 and
+  4096 ranks, the shape every fig3–fig8 sweep is built from.
+
+Every scenario also cross-checks that both allocators produce
+**bit-identical** completion times and final rates — a perf number from
+a diverged simulation would be meaningless.
+
+Results land in ``BENCH_sim.json`` at the repository root: wall seconds
+per side, speedup, and the :class:`repro.sim.engine.EngineStats`
+counters (events, rebalances, skipped rebalances, allocator rounds).
+
+Run standalone (full mode, best-of-3 timings)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_sim.py
+
+or in CI smoke mode (small shapes, single timing, same JSON schema)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_sim.py --smoke
+
+Also collectable via pytest (runs the smoke shapes and asserts the
+bit-identity + speedup invariants)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_sim.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pathlib
+import time
+
+from repro.sim import network, network_ref
+from repro.sim.traffic import fig3a_phase, identical_flows, mixed_classes
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_sim.json"
+
+
+def _scenarios(smoke: bool):
+    """(name, builder-kwargs-per-module) pairs for the selected mode."""
+    if smoke:
+        return [
+            ("identical_flows", identical_flows, dict(n=2000)),
+            ("mixed_classes", mixed_classes,
+             dict(n_classes=16, flows_per_class=8)),
+            ("fig3a_384", fig3a_phase,
+             dict(ranks=384, timesteps=1, datasets=2)),
+        ]
+    return [
+        ("identical_flows", identical_flows, dict(n=20000)),
+        ("mixed_classes", mixed_classes,
+         dict(n_classes=64, flows_per_class=32)),
+        ("fig3a_1536", fig3a_phase,
+         dict(ranks=1536, timesteps=2, datasets=8)),
+        ("fig3a_4096", fig3a_phase,
+         dict(ranks=4096, timesteps=2, datasets=8)),
+    ]
+
+
+def _run_once(net_mod, builder, kwargs):
+    """One timed simulation; returns (wall_s, trace, stats-dict)."""
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        engine, net, flows = builder(net_mod, **kwargs)
+        engine.run()
+        wall = time.perf_counter() - t0
+    finally:
+        gc.enable()
+    trace = [(f.started_at, f.finished_at, f.rate) for f in flows]
+    return wall, trace, engine.stats.snapshot()
+
+
+def run_scenario(name, builder, kwargs, repeats=3):
+    """Time fast vs reference; best-of-``repeats`` wall seconds each."""
+    fast_wall = ref_wall = None
+    fast_trace = ref_trace = None
+    fast_stats = None
+    for _ in range(repeats):
+        wall, trace, stats = _run_once(network, builder, kwargs)
+        if fast_wall is None or wall < fast_wall:
+            fast_wall, fast_stats = wall, stats
+        fast_trace = trace
+        wall, trace, _ = _run_once(network_ref, builder, kwargs)
+        if ref_wall is None or wall < ref_wall:
+            ref_wall = wall
+        ref_trace = trace
+    return {
+        "name": name,
+        "params": kwargs,
+        "fast_s": round(fast_wall, 4),
+        "ref_s": round(ref_wall, 4),
+        "speedup": round(ref_wall / fast_wall, 2),
+        "identical": fast_trace == ref_trace,
+        "events": fast_stats["events"],
+        "fastpath_events": fast_stats["fastpath_events"],
+        "rebalances": fast_stats["rebalances"],
+        "rebalances_skipped": fast_stats["rebalances_skipped"],
+        "allocator_rounds": fast_stats["allocator_rounds"],
+    }
+
+
+def run_bench(smoke=False, repeats=None, out=DEFAULT_OUT):
+    if repeats is None:
+        repeats = 1 if smoke else 3
+    results = []
+    for name, builder, kwargs in _scenarios(smoke):
+        row = run_scenario(name, builder, kwargs, repeats=repeats)
+        results.append(row)
+        print(
+            f"{row['name']:>16}: fast {row['fast_s']:.3f}s "
+            f"ref {row['ref_s']:.3f}s  {row['speedup']:.2f}x  "
+            f"identical={row['identical']}  events={row['events']} "
+            f"rebalances={row['rebalances']}"
+        )
+    payload = {"mode": "smoke" if smoke else "full", "scenarios": results}
+    out = pathlib.Path(out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[saved to {out}]")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (smoke shapes: cheap enough for CI)
+# ----------------------------------------------------------------------
+def test_fastpath_bit_identical_and_fast(tmp_path):
+    payload = run_bench(smoke=True, out=tmp_path / "BENCH_sim.json")
+    for row in payload["scenarios"]:
+        assert row["identical"], f"{row['name']}: traces diverged"
+        # Smoke shapes are small, so only sanity-check the direction;
+        # the full run is where the >=5x fig3a_4096 target is measured.
+        assert row["speedup"] > 1.0, f"{row['name']}: fast path slower"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small shapes, single timing (CI mode)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats per side (default: 3, or 1 with --smoke)",
+    )
+    parser.add_argument(
+        "--out", default=str(DEFAULT_OUT),
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats is not None and args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    out = pathlib.Path(args.out)
+    if not out.parent.is_dir():
+        parser.error(f"--out directory does not exist: {out.parent}")
+    payload = run_bench(smoke=args.smoke, repeats=args.repeats, out=out)
+    if not all(row["identical"] for row in payload["scenarios"]):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,13 @@ for the first time step.  The first read is a blocking operation"
 (§V-A.2).  After a blocking read, the configured prefetcher plans
 background reads of upcoming datasets into the staging buffer; later
 reads that hit the cache block only for a local copy.
+
+Simulator note: the staging copies issued here (``memcpy``,
+``gpu_transfer``) use per-node precomputed cap/latency constants, and
+PFS drains go through the memoized ``client_cap`` — so the many
+same-shaped flows of a drain phase collapse into a few flow classes of
+the fast-path allocator (see ``docs/architecture.md``, "Simulator fast
+path").  Flow ``tag``s are observational only and never affect classing.
 """
 
 from __future__ import annotations

@@ -13,6 +13,15 @@ peers, data is shuffled over the interconnect to ``naggregators``
 aggregator ranks, and only the aggregators issue (larger) storage
 requests.  This rescues small-per-rank-request workloads at the cost of
 the shuffle and the synchronization.
+
+Simulator note: every storage request issued here goes through
+``ParallelFileSystem.client_cap``, which memoizes the per-flow rate cap
+per ``(nbytes, nic_peak)``.  A bulk-synchronous phase (all ranks writing
+the same request size) therefore lands in a handful of flow classes of
+the fast-path allocator — keep request sizes exact (no per-rank float
+noise) when adding new issue sites, or the aggregation degrades to one
+class per flow.  Flow ``tag``s are observational only and never affect
+classing.
 """
 
 from __future__ import annotations

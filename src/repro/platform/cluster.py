@@ -43,7 +43,7 @@ class Node:
     """One allocated compute node and its private links."""
 
     __slots__ = ("index", "spec", "nic_link", "mem_link", "gpu_link", "_ssd",
-                 "_cluster")
+                 "_cluster", "_memcpy_cap", "_memcpy_latency", "_gpu_consts")
 
     def __init__(self, index: int, spec: NodeSpec, cluster: "Cluster"):
         self.index = index
@@ -52,8 +52,21 @@ class Node:
         self.nic_link = Link(f"node[{index}].nic", spec.nic_bandwidth)
         self.mem_link = Link(f"node[{index}].mem", spec.memcpy.node_aggregate)
         self.gpu_link: Optional[Link] = None
+        # Per-copy (cap, setup-latency) pairs, hoisted out of the hot
+        # memcpy/gpu_transfer paths.  Computing s0/peak once per node
+        # also guarantees every copy gets byte-identical cap/latency
+        # floats, so the network aggregates them into one flow class.
+        curve = spec.memcpy.per_copy
+        self._memcpy_cap = curve.peak
+        self._memcpy_latency = curve.s0 / curve.peak
+        self._gpu_consts: dict[bool, tuple[float, float]] = {}
         if spec.gpu_link is not None:
             self.gpu_link = Link(f"node[{index}].gpu", spec.gpu_link.link_peak)
+            for pinned in (True, False):
+                gcurve = spec.gpu_link.curve(pinned)
+                self._gpu_consts[pinned] = (
+                    gcurve.peak, gcurve.s0 / gcurve.peak
+                )
         self._ssd: Optional[NodeLocalSSD] = None
 
     @property
@@ -107,10 +120,9 @@ class Cluster:
         the memory bus has headroom — the mechanism behind Fig. 4b's
         sub-linear async scaling at small request sizes.
         """
-        curve = node.spec.memcpy.per_copy
         return self.network.transfer(
-            nbytes, [node.mem_link], cap=curve.peak,
-            latency=curve.s0 / curve.peak, tag=tag,
+            nbytes, [node.mem_link], cap=node._memcpy_cap,
+            latency=node._memcpy_latency, tag=tag,
         )
 
     def gpu_transfer(self, node: Node, nbytes: float, pinned: bool = True,
@@ -123,10 +135,9 @@ class Cluster:
         """
         if node.gpu_link is None or node.spec.gpu_link is None:
             raise ValueError(f"node {node.index} has no GPUs")
-        curve = node.spec.gpu_link.curve(pinned)
+        cap, latency = node._gpu_consts[pinned]
         return self.network.transfer(
-            nbytes, [node.gpu_link], cap=curve.peak,
-            latency=curve.s0 / curve.peak, tag=tag,
+            nbytes, [node.gpu_link], cap=cap, latency=latency, tag=tag,
         )
 
     def pfs_write(self, node: Node, target: FileTarget, nbytes: float,

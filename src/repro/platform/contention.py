@@ -116,5 +116,10 @@ class ContentionProcess:
             yield engine.timeout(self.interval)
             if self._stopped or (stop_at is not None and engine.now >= stop_at):
                 break
+            if self.jitter_sigma == 0.0:
+                # Degenerate config: factor is always ``base``, and
+                # ``ParallelFileSystem.set_availability`` skips redundant
+                # writes anyway — don't burn RNG draws on no-ops.
+                continue
             jitter = float(np.exp(self.jitter_sigma * self._rng.standard_normal()))
             self.fs.set_availability(min(1.0, max(self.model.floor, base * jitter)))

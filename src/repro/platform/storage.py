@@ -88,6 +88,11 @@ class ParallelFileSystem:
         #: In-flight request count (drives the metadata-serialization
         #: latency term).
         self._inflight = 0
+        #: (nbytes, client_peak) -> cap.  Sweeps issue the same request
+        #: size from thousands of ranks; the cache keeps those caps
+        #: byte-identical (flows land in one flow class of the fast-path
+        #: allocator) and skips the per-request arithmetic.
+        self._cap_cache: dict[tuple[float, float], float] = {}
 
     # -- file namespace --------------------------------------------------
     def open_file(self, path: str, stripe_count: Optional[int] = None) -> FileTarget:
@@ -118,10 +123,18 @@ class ParallelFileSystem:
 
         The size-dependent efficiency shrinks the cap for small
         requests; the floor models the client RPC pipeline's minimum
-        sustained rate (and avoids zero-rate stalls).
+        sustained rate (and avoids zero-rate stalls).  Results are
+        memoized per ``(nbytes, client_peak)``: same request shape, same
+        cap float — which also lets the network's fast path aggregate
+        the resulting flows into one flow class.
         """
-        eff = self.client_efficiency(nbytes)
-        return max(client_peak * eff, self.spec.client_floor_rate)
+        key = (nbytes, client_peak)
+        cap = self._cap_cache.get(key)
+        if cap is None:
+            eff = self.client_efficiency(nbytes)
+            cap = max(client_peak * eff, self.spec.client_floor_rate)
+            self._cap_cache[key] = cap
+        return cap
 
     # -- data movement -----------------------------------------------------
     def write(self, node: "Node", target: FileTarget, nbytes: float,
@@ -178,6 +191,10 @@ class ParallelFileSystem:
         """
         if not 0.0 < factor <= 1.0:
             raise ValueError(f"availability factor must be in (0,1], got {factor}")
+        if factor == self._availability:
+            # Redundant write: capacities cannot change, so don't force
+            # a rebalance checkpoint on every in-flight flow.
+            return
         self._availability = factor
         for link, base in self._base_capacities.items():
             link.set_capacity(base * factor)

@@ -19,6 +19,7 @@ from repro.sim.engine import (
     AllOf,
     AnyOf,
     Engine,
+    EngineStats,
     Process,
     SimEvent,
     SimulationError,
@@ -32,6 +33,7 @@ __all__ = [
     "AnyOf",
     "Barrier",
     "Engine",
+    "EngineStats",
     "Flow",
     "Link",
     "Mutex",

@@ -21,12 +21,14 @@ re-raised inside the waiting process.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
     "AllOf",
     "AnyOf",
     "Engine",
+    "EngineStats",
     "Process",
     "SimEvent",
     "SimulationError",
@@ -42,6 +44,48 @@ PRIORITY_LATE = 1
 
 class SimulationError(RuntimeError):
     """Raised for violations of engine invariants (e.g. time reversal)."""
+
+
+class EngineStats:
+    """Opt-in counter surface for observing simulator hot-path behavior.
+
+    Counters are plain ints updated by the engine and the network
+    allocator; reading them is free and resetting them mid-run is safe.
+    ``events`` counts every executed callback, ``fastpath_events`` the
+    subset served from the zero-delay ready queue (never through the
+    heap).  ``rebalances`` / ``rebalances_skipped`` / ``allocator_rounds``
+    are maintained by :class:`repro.sim.network.Network`: a *skipped*
+    rebalance ran its advance/completion bookkeeping but skipped the
+    water-filling because neither the flow-class structure nor any link
+    capacity changed since the last allocation.
+    """
+
+    __slots__ = (
+        "events",
+        "fastpath_events",
+        "rebalances",
+        "rebalances_skipped",
+        "allocator_rounds",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.events = 0
+        self.fastpath_events = 0
+        self.rebalances = 0
+        self.rebalances_skipped = 0
+        self.allocator_rounds = 0
+
+    def snapshot(self) -> dict:
+        """Counters as a plain dict (for benchmark JSON / logging)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = " ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"<EngineStats {body}>"
 
 
 class SimEvent:
@@ -257,7 +301,8 @@ class Process:
         return self.done.value
 
     def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
-        if self.done.triggered:
+        done = self.done
+        if done._triggered:
             return
         try:
             if exc is not None:
@@ -265,19 +310,23 @@ class Process:
             else:
                 waitable = self.generator.send(value)
         except StopIteration as stop:
-            self.done.succeed(stop.value)
+            done.succeed(stop.value)
             return
         except BaseException as err:  # noqa: BLE001 - propagate to joiners
-            if self.done.callbacks:
-                self.done.fail(err)
+            if done.callbacks:
+                done.fail(err)
             else:
                 raise
             return
+        # Inlined SimEvent._wait — this is the hottest subscription site.
         event = waitable._as_event(self.engine)
-        event._wait(self._on_event)
+        if event._processed:
+            self.engine.schedule(0.0, self._on_event, event)
+        else:
+            event.callbacks.append(self._on_event)
 
     def _on_event(self, event: SimEvent) -> None:
-        self._resume(event.value, event._exc)
+        self._resume(event._value, event._exc)
 
     # Waitable protocol -------------------------------------------------
     def _as_event(self, engine: "Engine") -> SimEvent:
@@ -302,13 +351,23 @@ class Engine:
         self._now = 0.0
         self._seq = 0
         self._heap: list[tuple[float, int, int, Callable, tuple]] = []
-        #: Number of callbacks executed so far (observability / tests).
-        self.executed = 0
+        #: Zero-delay callbacks at the current instant whose priority is
+        #: non-decreasing: they bypass the heap entirely (no tuple key,
+        #: no sift) and are merged back into (time, priority, sequence)
+        #: order by the run loop.
+        self._ready: deque[tuple[int, int, Callable, tuple]] = deque()
+        #: Hot-path counters (events, network rebalances, ...).
+        self.stats = EngineStats()
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def executed(self) -> int:
+        """Number of callbacks executed so far (observability / tests)."""
+        return self.stats.events
 
     def schedule(
         self,
@@ -317,10 +376,35 @@ class Engine:
         *args: Any,
         priority: int = PRIORITY_NORMAL,
     ) -> None:
-        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Zero-delay callbacks (the dominant case: event dispatch, process
+        starts, rebalance batching) take a fast path onto a FIFO ready
+        queue instead of the heap whenever their priority keeps the
+        queue's key order intact; the run loop interleaves the two
+        sources in exact ``(time, priority, sequence)`` order, so the
+        observable schedule is identical to a pure-heap engine.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
         self._seq += 1
+        if delay == 0.0:
+            # Fast path: append iff the queue stays sorted by
+            # (time, priority); sequence numbers are monotonic, so FIFO
+            # order within the queue is already key order.
+            ready = self._ready
+            if ready:
+                tail = ready[-1]
+                if self._now > tail[0] or (
+                    self._now == tail[0] and priority >= tail[1]
+                ):
+                    ready.append(
+                        (self._now, priority, self._seq, callback, args)
+                    )
+                    return
+            else:
+                ready.append((self._now, priority, self._seq, callback, args))
+                return
         heapq.heappush(
             self._heap, (self._now + delay, priority, self._seq, callback, args)
         )
@@ -338,22 +422,60 @@ class Engine:
         return Process(self, generator, name=name)
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the event heap drains or ``until`` is reached.
+        """Run until the event queue drains or ``until`` is reached.
 
         Returns the simulated time at which execution stopped.
+
+        ``until`` semantics (see also :meth:`peek`): the first pending
+        callback whose timestamp is *strictly after* ``until`` is peeked
+        but **not** popped — it stays queued for a later ``run`` call,
+        it does not count toward ``executed``/``stats.events``, and
+        ``peek()`` still reports its time.  The clock is then set to
+        exactly ``until`` (callbacks scheduled *at* ``until`` do run).
+        If the queue drains first, the clock stays at the last executed
+        callback's time and ``until`` is not reached.
         """
         heap = self._heap
-        while heap:
-            time, _prio, _seq, callback, args = heap[0]
-            if until is not None and time > until:
+        ready = self._ready
+        pop = heapq.heappop
+        popleft = ready.popleft
+        stats = self.stats
+        if until is None:
+            # Common case: no horizon check per event.
+            while ready or heap:
+                if ready and (not heap or ready[0] <= heap[0]):
+                    entry = popleft()
+                    stats.fastpath_events += 1
+                else:
+                    entry = pop(heap)
+                time = entry[0]
+                if time < self._now - 1e-12:
+                    raise SimulationError("event heap time reversal")
+                self._now = time
+                entry[3](*entry[4])
+                stats.events += 1
+            return self._now
+        while ready or heap:
+            if ready and (not heap or ready[0] <= heap[0]):
+                entry = ready[0]
+                from_ready = True
+            else:
+                entry = heap[0]
+                from_ready = False
+            time = entry[0]
+            if time > until:
                 self._now = until
                 return self._now
-            heapq.heappop(heap)
+            if from_ready:
+                popleft()
+                stats.fastpath_events += 1
+            else:
+                pop(heap)
             if time < self._now - 1e-12:
                 raise SimulationError("event heap time reversal")
             self._now = time
-            callback(*args)
-            self.executed += 1
+            entry[3](*entry[4])
+            stats.events += 1
         return self._now
 
     def run_process(self, generator: Generator, name: str = "") -> Any:
@@ -370,8 +492,19 @@ class Engine:
         return proc.value
 
     def peek(self) -> float:
-        """Time of the next scheduled callback (``inf`` if none)."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next scheduled callback (``inf`` if none).
+
+        Purely observational: the callback is not popped.  After
+        ``run(until=...)`` stopped early, this is the timestamp of the
+        peeked-but-unpopped callback that ``run`` left queued.
+        """
+        ready = self._ready
+        heap = self._heap
+        if ready:
+            t = ready[0][0]
+            return heap[0][0] if heap and heap[0][0] < t else t
+        return heap[0][0] if heap else float("inf")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Engine t={self._now:.6g} pending={len(self._heap)}>"
+        pending = len(self._heap) + len(self._ready)
+        return f"<Engine t={self._now:.6g} pending={pending}>"

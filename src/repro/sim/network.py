@@ -14,12 +14,24 @@ reproduces the saturation shapes the paper observes: aggregate
 bandwidth grows with the number of clients until the shared file-system
 link is the bottleneck, then plateaus.
 
+Fast path (see ``docs/architecture.md``, "Simulator fast path"): active
+flows are grouped into **flow classes** keyed by ``(links, cap)``.  All
+members of a class receive identical rates under progressive filling,
+so the water-filling rounds iterate over classes (dozens) instead of
+flows (thousands), and a flow's current rate is read *lazily* from its
+class.  Per-link membership counts are maintained incrementally across
+rebalances, and the full rate recomputation is skipped entirely when
+neither the class structure nor any link capacity changed since the
+last allocation.  The reference per-flow implementation is preserved in
+:mod:`repro.sim.network_ref`; the fast path is required (and tested) to
+produce bit-identical simulated timestamps and rates.
+
 Efficiency notes (guides: avoid per-event quadratic work): flow arrivals
 and completions at the same simulated instant are *batched* — a single
 rebalance runs after all of them, scheduled in a late priority band.
 With ``N`` identical flows starting and finishing together (the common
 bulk-synchronous I/O-phase case) the whole phase costs ``O(N)`` events
-and two rate computations, not ``O(N^2)``.
+and two rate computations over ``O(1)`` classes, not ``O(N^2)``.
 """
 
 from __future__ import annotations
@@ -44,13 +56,16 @@ class Link:
     in-flight flows are re-balanced from the current instant onward.
     """
 
-    __slots__ = ("name", "_capacity", "_network")
+    __slots__ = ("name", "_capacity", "_sat", "_network")
 
     def __init__(self, name: str, capacity: float):
         if capacity < 0:
             raise ValueError(f"link {name!r}: negative capacity {capacity}")
         self.name = name
         self._capacity = float(capacity)
+        #: Saturation threshold ``capacity * _REL_EPS``, recomputed only
+        #: when the capacity changes (not every water-filling round).
+        self._sat = self._capacity * _REL_EPS
         self._network: Optional["Network"] = None
 
     @property
@@ -59,12 +74,27 @@ class Link:
         return self._capacity
 
     def set_capacity(self, capacity: float) -> None:
-        """Change the capacity, re-balancing any in-flight flows."""
+        """Change the capacity, re-balancing any in-flight flows.
+
+        A rebalance is scheduled even for an unchanged value (the
+        reference implementation does the same, and the advance
+        checkpoints must match it bit-for-bit); the allocator itself is
+        only re-run when the value actually changed.
+        """
         if capacity < 0:
             raise ValueError(f"link {self.name!r}: negative capacity {capacity}")
-        self._capacity = float(capacity)
-        if self._network is not None:
-            self._network._mark_dirty()
+        capacity = float(capacity)
+        network = self._network
+        if network is not None:
+            if capacity != self._capacity:
+                network._epoch += 1
+            if capacity <= 0.0:
+                network._zero_links.add(self)
+            else:
+                network._zero_links.discard(self)
+            network._mark_dirty()
+        self._capacity = capacity
+        self._sat = capacity * _REL_EPS
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Link {self.name!r} {self._capacity:.3g} B/s>"
@@ -81,10 +111,12 @@ class Flow:
 
     __slots__ = (
         "nbytes",
-        "remaining",
+        "_rem",
         "links",
         "cap",
-        "rate",
+        "_rate",
+        "_klass",
+        "_order",
         "done",
         "tag",
         "started_at",
@@ -100,14 +132,49 @@ class Flow:
         tag: Any,
     ):
         self.nbytes = float(nbytes)
-        self.remaining = float(nbytes)
+        self._rem = float(nbytes)
         self.links = tuple(links)
         self.cap = float(cap)
-        self.rate = 0.0
+        self._rate = 0.0
+        self._klass: Optional["_FlowClass"] = None
+        self._order = 0
         self.tag = tag
-        self.done = engine.event(name=f"flow({tag})")
+        # A static event name (formatting a per-flow f-string is
+        # measurable at scale — the tag is on the flow for debugging),
+        # constructed directly to skip the factory-method hop.
+        self.done = SimEvent(engine, "flow")
         self.started_at = engine.now
         self.finished_at: Optional[float] = None
+
+    @property
+    def rate(self) -> float:
+        """Current allocated rate (read lazily from the flow's class)."""
+        klass = self._klass
+        return klass.rate if klass is not None else self._rate
+
+    @property
+    def remaining(self) -> float:
+        """Bytes left to move.
+
+        While the flow is a class member its residual lives in the
+        class's parallel ``rems`` array (the advance loop updates that
+        array wholesale, far cheaper than per-flow attribute stores);
+        this accessor is for observability, not the hot path.
+        """
+        klass = self._klass
+        if klass is None:
+            return self._rem
+        klass.materialize()
+        return klass.rems[klass.members.index(self)]
+
+    @remaining.setter
+    def remaining(self, value: float) -> None:
+        klass = self._klass
+        if klass is None:
+            self._rem = value
+        else:
+            klass.materialize()
+            klass.rems[klass.members.index(self)] = value
 
     @property
     def elapsed(self) -> float:
@@ -118,11 +185,22 @@ class Flow:
 
     @property
     def achieved_rate(self) -> float:
-        """Average achieved bytes/second over the whole transfer."""
-        dt = self.elapsed
-        if not dt:
-            return float("inf")
-        return self.nbytes / dt
+        """Average achieved bytes/second over the whole transfer.
+
+        Always finite: an in-flight flow reports ``0.0`` (rather than
+        propagating the ``nan`` from :attr:`elapsed`), and a
+        zero-duration transfer (empty payload, or an instantaneous move
+        over an uncapped path) also reports ``0.0`` — a finite,
+        ``nbytes``-consistent value for the downstream regression in
+        :mod:`repro.analysis.fitting`, where an ``inf``/``nan`` sample
+        would poison the fit's r².
+        """
+        if self.finished_at is None:
+            return 0.0
+        dt = self.finished_at - self.started_at
+        if dt > 0.0:
+            return self.nbytes / dt
+        return 0.0
 
     # Waitable protocol: ``yield flow`` waits for completion.
     def _as_event(self, engine: Engine) -> SimEvent:
@@ -135,12 +213,99 @@ class Flow:
         )
 
 
+class _FlowClass:
+    """Equivalence class of active flows sharing ``(links, cap)``.
+
+    Progressive filling assigns identical rates to all members, so the
+    allocator operates on classes and members read their rate through
+    :attr:`Flow.rate`.  ``link_mults`` caches each distinct link of the
+    path with its multiplicity (a duplicated link in a path counts
+    twice toward that link's flow count, exactly as in the reference
+    allocator).
+    """
+
+    __slots__ = (
+        "key", "links", "cap", "cap_thresh", "rate", "members", "rems",
+        "decs", "pending", "count", "min_remaining", "max_nbytes",
+        "link_mults",
+    )
+
+    def __init__(self, key: tuple, links: tuple[Link, ...], cap: float):
+        self.key = key
+        self.links = links
+        self.cap = cap
+        self.cap_thresh = cap * (1.0 - _REL_EPS)
+        self.rate = 0.0
+        self.members: list[Flow] = []
+        #: Per-member residual bytes, parallel to ``members`` — current
+        #: only after :meth:`materialize` replays ``decs``.
+        self.rems: list[float] = []
+        #: Advance decrements (``rate * dt`` per checkpoint) not yet
+        #: applied to ``rems``.  Applying them member-by-member at every
+        #: checkpoint would be O(members) per rebalance; instead each
+        #: checkpoint appends one value here (``min_remaining`` still
+        #: advances eagerly) and members replay the sequence — the same
+        #: clamped subtractions in the same order, so bit-identical —
+        #: only when their residuals are actually read.
+        self.decs: list[float] = []
+        #: Arrivals since the last allocation: they hold rate 0 (exactly
+        #: like a fresh flow in the reference allocator) until the next
+        #: water-filling pass merges them into ``members``.
+        self.pending: list[Flow] = []
+        self.count = 0
+        #: Smallest member residual.  All members shrink by the same
+        #: ``rate * dt`` each advance, so this tracks min(remaining)
+        #: exactly without a member scan (subtraction is monotonic, so
+        #: the minimizing member stays minimal and yields this value
+        #: bit-for-bit).
+        self.min_remaining = math.inf
+        #: Upper bound on member sizes (drives the relative-residual
+        #: completion threshold; may be stale-high after removals, which
+        #: only makes the completion scan trigger conservatively).
+        self.max_nbytes = 0.0
+        mults: dict[Link, int] = {}
+        for link in links:
+            mults[link] = mults.get(link, 0) + 1
+        self.link_mults = tuple(mults.items())
+
+    def materialize(self) -> None:
+        """Replay deferred advance decrements onto member residuals."""
+        decs = self.decs
+        if decs:
+            rems = self.rems
+            for i, r in enumerate(rems):
+                for d in decs:
+                    r = r - d
+                    if r <= 0.0:
+                        r = 0.0
+                rems[i] = r
+            decs.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        names = ",".join(l.name for l in self.links)
+        return f"<FlowClass [{names}] cap={self.cap:.3g} n={self.count}>"
+
+
 class Network:
     """Fluid-flow network: manages active flows and their fair rates."""
 
     def __init__(self, engine: Engine):
         self.engine = engine
-        self._active: list[Flow] = []
+        #: (links, cap) -> class of active flows (insertion-ordered).
+        self._classes: dict[tuple, _FlowClass] = {}
+        #: link -> {class: multiplicity} for classes whose path uses it.
+        self._link_classes: dict[Link, dict[_FlowClass, int]] = {}
+        #: link -> active-flow count (incremental, across rebalances).
+        self._link_members: dict[Link, int] = {}
+        self._n_active = 0
+        self._order = 0
+        #: Links currently at zero capacity (their flows freeze at rate
+        #: 0); maintained here so the allocator doesn't scan every link.
+        self._zero_links: set[Link] = set()
+        #: Bumped on any arrival/completion/capacity change; the
+        #: allocator is skipped while ``_alloc_epoch`` matches.
+        self._epoch = 0
+        self._alloc_epoch = -1
         self._last_update = 0.0
         self._dirty = False
         self._completion_token = 0
@@ -177,6 +342,8 @@ class Network:
         for link in links:
             if link._network is None:
                 link._network = self
+                if link._capacity <= 0.0:
+                    self._zero_links.add(link)
             elif link._network is not self:
                 raise RuntimeError(f"link {link.name!r} belongs to another network")
         flow = Flow(self.engine, nbytes, links, cap, tag)
@@ -193,15 +360,27 @@ class Network:
         return flow
 
     def link_throughput(self, link: Link) -> float:
-        """Instantaneous aggregate rate through ``link`` (bytes/second)."""
+        """Instantaneous aggregate rate through ``link`` (bytes/second).
+
+        Served from the per-class aggregates the fast path maintains —
+        ``O(classes on link)`` instead of a scan over every active flow.
+        """
         self._settle()
-        return sum(f.rate for f in self._active if link in f.links)
+        classes = self._link_classes.get(link)
+        if not classes:
+            return 0.0
+        return sum(cls.rate * cls.count for cls in classes)
 
     @property
     def active_flows(self) -> int:
-        """Number of in-flight flows."""
+        """Number of in-flight flows (maintained count, no flow scan)."""
         self._settle()
-        return len(self._active)
+        return self._n_active
+
+    @property
+    def class_count(self) -> int:
+        """Number of distinct flow classes currently active."""
+        return len(self._classes)
 
     # ------------------------------------------------------------------
     # Internals
@@ -209,14 +388,51 @@ class Network:
     def _finish_now(self, flow: Flow) -> None:
         flow.started_at = min(flow.started_at, self.engine.now)
         flow.finished_at = self.engine.now
-        flow.remaining = 0.0
+        flow._rem = 0.0
         self.completed += 1
         flow.done.succeed(flow)
 
     def _activate(self, flow: Flow) -> None:
         flow.started_at = self.engine.now
-        self._active.append(flow)
+        self._order += 1
+        flow._order = self._order
+        key = (flow.links, flow.cap)
+        cls = self._classes.get(key)
+        if cls is None:
+            cls = _FlowClass(key, flow.links, flow.cap)
+            self._classes[key] = cls
+            link_classes = self._link_classes
+            for link, mult in cls.link_mults:
+                members = link_classes.get(link)
+                if members is None:
+                    link_classes[link] = {cls: mult}
+                else:
+                    members[cls] = mult
+        # Fresh arrivals hold rate 0 until the next water-filling pass
+        # (the reference allocator behaves the same way): they sit on the
+        # class's pending list so the advance/completion scans skip them.
+        cls.pending.append(flow)
+        link_members = self._link_members
+        for link, mult in cls.link_mults:
+            link_members[link] = link_members.get(link, 0) + mult
+        self._n_active += 1
+        self._epoch += 1
         self._mark_dirty()
+
+    def _drop_members(self, cls: _FlowClass, n: int) -> None:
+        """Account for ``n`` members leaving ``cls`` (class dropped at 0)."""
+        link_members = self._link_members
+        for link, mult in cls.link_mults:
+            link_members[link] -= mult * n
+        if cls.count == 0 and not cls.pending:
+            del self._classes[cls.key]
+            link_classes = self._link_classes
+            for link, _mult in cls.link_mults:
+                members = link_classes[link]
+                del members[cls]
+                if not members:
+                    del link_classes[link]
+                    del link_members[link]
 
     def _mark_dirty(self) -> None:
         if not self._dirty:
@@ -229,110 +445,249 @@ class Network:
         if self._dirty:
             self._rebalance()
 
-    def _advance(self) -> None:
-        now = self.engine.now
-        dt = now - self._last_update
-        if dt > 0.0:
-            for flow in self._active:
-                if flow.rate > 0.0:
-                    flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
-        self._last_update = now
-
     def _rebalance(self) -> None:
         self._dirty = False
-        self._advance()
-        self._complete_finished()
-        self._allocate()
+        stats = self.engine.stats
+        stats.rebalances += 1
+        self._advance_and_complete()
+        if self._alloc_epoch != self._epoch:
+            self._allocate()
+            self._alloc_epoch = self._epoch
+        else:
+            # Pure no-op rebalance (e.g. a redundant capacity write or a
+            # superseded query settle): rates are still valid, skip the
+            # water-filling entirely.
+            stats.rebalances_skipped += 1
         self._schedule_completion()
 
-    def _complete_finished(self) -> None:
+    def _advance_and_complete(self) -> None:
+        # Advance member residuals to ``now``, then complete drained
+        # flows — fused into one pass over the classes (each class's
+        # advance and completion are independent of every other's, so
+        # the arithmetic matches the reference's advance-all-then-scan-
+        # all sequence bit-for-bit).
+        #
         # A flow is complete when its residual is negligible relative to
         # its size, or when draining it needs a time step too small to
         # represent at the current simulated time (float resolution) —
         # otherwise zero-progress completion events would loop forever.
         now = self.engine.now
+        dt = now - self._last_update
+        self._last_update = now
+        advance = dt > 0.0
         time_eps = max(1e-12, abs(now) * 1e-12)
-        finished = [
-            f
-            for f in self._active
-            if f.remaining <= max(_BYTE_EPS, f.nbytes * 1e-9)
-            or (f.rate > 0.0 and f.remaining / f.rate <= time_eps)
-        ]
+        finished: list[Flow] = []
+        for cls in list(self._classes.values()):
+            rate = cls.rate
+            if advance and rate > 0.0:
+                dec = rate * dt
+                # Member residuals advance lazily (see _FlowClass.decs);
+                # only the class minimum is maintained eagerly.
+                # Subtraction is monotonic, so the minimizing member
+                # stays minimal: the class min advances by the same
+                # arithmetic the members will replay, bit-for-bit.
+                cls.decs.append(dec)
+                rem = cls.min_remaining - dec
+                cls.min_remaining = rem if rem > 0.0 else 0.0
+            # Quick reject: every member's residual is at least
+            # ``min_remaining`` and every member's relative threshold is
+            # at most ``max_nbytes * 1e-9``, so when the class minimum
+            # clears all three completion tests no member can possibly
+            # pass them — skip the member scan entirely.
+            min_rem = cls.min_remaining
+            if (
+                min_rem > _BYTE_EPS
+                and min_rem > cls.max_nbytes * 1e-9
+                and (rate <= 0.0 or min_rem / rate > time_eps)
+            ):
+                continue
+            cls.materialize()
+            keep: list[Flow] = []
+            keep_rems: list[float] = []
+            new_min = math.inf
+            new_max = 0.0
+            for f, rem in zip(cls.members, cls.rems):
+                if (
+                    rem <= _BYTE_EPS
+                    or rem <= f.nbytes * 1e-9
+                    or (rate > 0.0 and rem / rate <= time_eps)
+                ):
+                    f._rate = rate
+                    f._klass = None
+                    f._rem = rem
+                    finished.append(f)
+                else:
+                    keep.append(f)
+                    keep_rems.append(rem)
+                    if rem < new_min:
+                        new_min = rem
+                    if f.nbytes > new_max:
+                        new_max = f.nbytes
+            dropped = cls.count - len(keep)
+            cls.members = keep
+            cls.rems = keep_rems
+            cls.count = len(keep)
+            cls.min_remaining = new_min
+            cls.max_nbytes = new_max
+            self._drop_members(cls, dropped)
         if not finished:
             return
-        done_set = set(map(id, finished))
-        self._active = [f for f in self._active if id(f) not in done_set]
+        self._n_active -= len(finished)
+        self._epoch += 1
+        # Completion callbacks must fire in activation order — the exact
+        # order the reference implementation's active-list scan produces
+        # (downstream processes observe it, e.g. in-flight counters).
+        finished.sort(key=_activation_order)
         for flow in finished:
-            flow.finished_at = self.engine.now
-            flow.remaining = 0.0
+            flow.finished_at = now
+            flow._rem = 0.0
             self.completed += 1
             flow.done.succeed(flow)
 
     def _allocate(self) -> None:
-        """Max-min fair rates with per-flow caps (progressive filling)."""
-        flows = self._active
-        for f in flows:
-            f.rate = 0.0
-        if not flows:
+        """Max-min fair rates with per-flow caps (progressive filling).
+
+        Operates on flow classes: every round computes one uniform rate
+        increment from per-link residuals and per-class cap headroom,
+        then freezes saturated classes.  Arithmetic is ordered so every
+        float operation matches the reference per-flow allocator.
+        """
+        classes = self._classes
+        for cls in classes.values():
+            cls.rate = 0.0
+            pending = cls.pending
+            if pending:
+                # New members must not replay decrements from before
+                # they joined: flush the deferred ones first.
+                cls.materialize()
+                members = cls.members
+                rems = cls.rems
+                min_rem = cls.min_remaining
+                max_nb = cls.max_nbytes
+                for flow in pending:
+                    flow._klass = cls
+                    # A pending flow has moved no bytes: its residual is
+                    # its full size.
+                    nb = flow._rem
+                    rems.append(nb)
+                    if nb < min_rem:
+                        min_rem = nb
+                    if nb > max_nb:
+                        max_nb = nb
+                cls.min_remaining = min_rem
+                cls.max_nbytes = max_nb
+                members.extend(pending)
+                cls.count = len(members)
+                pending.clear()
+        if not classes:
             return
-        # Link -> list of its unfrozen flows.
-        link_flows: dict[Link, list[Flow]] = {}
-        for f in flows:
-            for link in f.links:
-                link_flows.setdefault(link, []).append(f)
-        residual = {link: link.capacity for link in link_flows}
-        unfrozen = set(map(id, flows))
-        flows_by_id = {id(f): f for f in flows}
+        link_classes = self._link_classes
+        # Per-link unfrozen-flow count this pass, seeded from the
+        # membership counts maintained across rebalances.  The residual
+        # map is materialized lazily during round 1 (whose residuals are
+        # just the link capacities) — most passes finish in one round
+        # and never pay for the upfront dict build.
+        nmap = dict(self._link_members)
+        residual: Optional[dict[Link, float]] = None
+        unfrozen = set(classes.values())
+
         # Flows on a zero-capacity link can never move: freeze at rate 0.
-        for link, fs in link_flows.items():
-            if link.capacity <= 0.0:
-                for f in fs:
-                    unfrozen.discard(id(f))
+        if self._zero_links:
+            for link in self._zero_links:
+                for cls in link_classes.get(link, ()):
+                    if cls in unfrozen:
+                        unfrozen.remove(cls)
+                        count = cls.count
+                        for lnk, mult in cls.link_mults:
+                            nmap[lnk] -= mult * count
 
+        rounds = 0
+        inf = math.inf
         while unfrozen:
-            inc = math.inf
-            for link, fs in link_flows.items():
-                n = sum(1 for f in fs if id(f) in unfrozen)
-                if n:
-                    inc = min(inc, residual[link] / n)
-            for fid in unfrozen:
-                f = flows_by_id[fid]
-                inc = min(inc, f.cap - f.rate)
-            if inc is math.inf:
+            rounds += 1
+            inc = inf
+            if residual is None:
+                for link, n in nmap.items():
+                    if n:
+                        v = link._capacity / n
+                        if v < inc:
+                            inc = v
+            else:
+                for link, n in nmap.items():
+                    if n:
+                        v = residual[link] / n
+                        if v < inc:
+                            inc = v
+            for cls in unfrozen:
+                v = cls.cap - cls.rate
+                if v < inc:
+                    inc = v
+            if inc == inf:
                 # No finite constraint: flows are effectively unbounded.
-                for fid in unfrozen:
-                    flows_by_id[fid].rate = math.inf
+                for cls in unfrozen:
+                    cls.rate = inf
                 break
-            inc = max(inc, 0.0)
-            for fid in unfrozen:
-                flows_by_id[fid].rate += inc
-            for link, fs in link_flows.items():
-                n = sum(1 for f in fs if id(f) in unfrozen)
-                residual[link] -= inc * n
-
-            frozen_now: set[int] = set()
-            for fid in unfrozen:
-                f = flows_by_id[fid]
-                if f.rate >= f.cap * (1.0 - _REL_EPS):
-                    frozen_now.add(fid)
-            for link, fs in link_flows.items():
-                if residual[link] <= link.capacity * _REL_EPS:
-                    for f in fs:
-                        if id(f) in unfrozen:
-                            frozen_now.add(id(f))
+            if inc < 0.0:
+                inc = 0.0
+            for cls in unfrozen:
+                cls.rate += inc
+            # Classes are removed from ``unfrozen`` as they are appended,
+            # so ``frozen_now`` stays duplicate-free.  Residual update
+            # and saturation check are fused into one pass (each link's
+            # residual is independent, so the values match the
+            # reference's update-all-then-check-all sequence); only
+            # links with unfrozen members matter — a link whose unfrozen
+            # count dropped to zero has no class left to freeze (exactly
+            # what the reference's per-flow scan would find).
+            frozen_now = [cls for cls in unfrozen if cls.rate >= cls.cap_thresh]
+            for cls in frozen_now:
+                unfrozen.remove(cls)
+            if residual is None:
+                residual = {}
+                for link, n in nmap.items():
+                    if n:
+                        r = link._capacity - inc * n
+                        residual[link] = r
+                        if r <= link._sat:
+                            for cls in link_classes[link]:
+                                if cls in unfrozen:
+                                    unfrozen.remove(cls)
+                                    frozen_now.append(cls)
+            else:
+                for link, n in nmap.items():
+                    if n:
+                        r = residual[link] - inc * n
+                        residual[link] = r
+                        if r <= link._sat:
+                            for cls in link_classes[link]:
+                                if cls in unfrozen:
+                                    unfrozen.remove(cls)
+                                    frozen_now.append(cls)
             if not frozen_now:
                 # Numerical stall safeguard; freeze everything.
                 break
-            unfrozen -= frozen_now
+            if not unfrozen:
+                break  # final round: nothing left to read the counts
+            for cls in frozen_now:
+                count = cls.count
+                for link, mult in cls.link_mults:
+                    nmap[link] -= mult * count
+        self.engine.stats.allocator_rounds += rounds
 
     def _schedule_completion(self) -> None:
         self._completion_token += 1
         token = self._completion_token
         next_dt = math.inf
-        for f in self._active:
-            if f.rate > 0.0:
-                next_dt = min(next_dt, f.remaining / f.rate)
-        if next_dt is math.inf:
+        for cls in self._classes.values():
+            rate = cls.rate
+            if rate > 0.0 and cls.count:
+                # min(remaining)/rate == min(remaining/rate) for the
+                # class's uniform positive rate, and the class minimum is
+                # tracked incrementally — no member scan.
+                v = cls.min_remaining / rate
+                if v < next_dt:
+                    next_dt = v
+        if next_dt == math.inf:
             return
         self.engine.schedule(
             max(0.0, next_dt), self._on_completion, token, priority=PRIORITY_LATE
@@ -342,3 +697,7 @@ class Network:
         if token != self._completion_token:
             return  # superseded by a newer rebalance
         self._rebalance()
+
+
+def _activation_order(flow: Flow) -> int:
+    return flow._order

@@ -1,0 +1,340 @@
+"""Reference (slow-path) max-min fair allocator — correctness oracle.
+
+This module is a frozen copy of the original per-flow water-filling
+implementation of :mod:`repro.sim.network`.  The optimized allocator in
+``network.py`` (flow-class aggregation + incremental rebalancing) must
+produce **bit-identical** simulated timestamps and rates to this one;
+``tests/test_sim_network_fastpath.py`` cross-checks the two over
+randomized mixed workloads.
+
+Do not optimize this module: its value is that every floating-point
+operation happens exactly as it did before the fast path landed.  The
+public classes (``Link``, ``Flow``, ``Network``) mirror the optimized
+module's API so the same driver code can run against either.
+
+Allocation model (shared with the fast path): rates are assigned by
+max-min fairness with caps (progressive filling / water-filling) — all
+flows grow uniformly until either a link saturates (its flows freeze)
+or a flow hits its own cap (it freezes).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.sim.engine import PRIORITY_LATE, Engine, SimEvent
+
+__all__ = ["Flow", "Link", "Network"]
+
+#: Relative tolerance for "link saturated" / "cap reached" tests.
+_REL_EPS = 1e-9
+#: Absolute byte tolerance below which a flow counts as complete.
+_BYTE_EPS = 1e-6
+
+
+class Link:
+    """A shared bandwidth resource (NIC, PFS backend, memory bus).
+
+    Capacity may be changed at runtime (used by the contention model);
+    in-flight flows are re-balanced from the current instant onward.
+    """
+
+    __slots__ = ("name", "_capacity", "_network")
+
+    def __init__(self, name: str, capacity: float):
+        if capacity < 0:
+            raise ValueError(f"link {name!r}: negative capacity {capacity}")
+        self.name = name
+        self._capacity = float(capacity)
+        self._network: Optional["Network"] = None
+
+    @property
+    def capacity(self) -> float:
+        """Capacity in bytes/second."""
+        return self._capacity
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change the capacity, re-balancing any in-flight flows."""
+        if capacity < 0:
+            raise ValueError(f"link {self.name!r}: negative capacity {capacity}")
+        self._capacity = float(capacity)
+        if self._network is not None:
+            self._network._mark_dirty()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link {self.name!r} {self._capacity:.3g} B/s>"
+
+
+class Flow:
+    """A single data transfer across a path of links.
+
+    ``done`` fires with the flow itself as value when the last byte has
+    moved.  ``elapsed`` and ``achieved_rate`` are populated on
+    completion and used to derive the paper's "aggregate bandwidth"
+    metrics.
+    """
+
+    __slots__ = (
+        "nbytes",
+        "remaining",
+        "links",
+        "cap",
+        "rate",
+        "done",
+        "tag",
+        "started_at",
+        "finished_at",
+    )
+
+    def __init__(
+        self,
+        engine: Engine,
+        nbytes: float,
+        links: Sequence[Link],
+        cap: float,
+        tag: Any,
+    ):
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.links = tuple(links)
+        self.cap = float(cap)
+        self.rate = 0.0
+        self.tag = tag
+        self.done = engine.event(name=f"flow({tag})")
+        self.started_at = engine.now
+        self.finished_at: Optional[float] = None
+
+    @property
+    def elapsed(self) -> float:
+        """Transfer duration in seconds (``nan`` until complete)."""
+        if self.finished_at is None:
+            return float("nan")
+        return self.finished_at - self.started_at
+
+    @property
+    def achieved_rate(self) -> float:
+        """Average achieved bytes/second over the whole transfer."""
+        dt = self.elapsed
+        if not dt:
+            return float("inf")
+        return self.nbytes / dt
+
+    # Waitable protocol: ``yield flow`` waits for completion.
+    def _as_event(self, engine: Engine) -> SimEvent:
+        return self.done
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Flow {self.tag!r} {self.nbytes:.3g}B "
+            f"remaining={self.remaining:.3g} rate={self.rate:.3g}>"
+        )
+
+
+class Network:
+    """Fluid-flow network: manages active flows and their fair rates."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._active: list[Flow] = []
+        self._last_update = 0.0
+        self._dirty = False
+        self._completion_token = 0
+        #: Completed-flow count (observability / tests).
+        self.completed = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        nbytes: float,
+        links: Iterable[Link],
+        cap: float = math.inf,
+        latency: float = 0.0,
+        tag: Any = None,
+    ) -> Flow:
+        """Start a transfer of ``nbytes`` over ``links``.
+
+        ``cap`` bounds this flow's rate regardless of link headroom
+        (bytes/second).  ``latency`` is a fixed startup delay (request
+        setup, metadata round-trip) before any byte moves.  Returns the
+        :class:`Flow`, whose ``done`` event fires on completion; a flow
+        is itself waitable, so process code reads naturally::
+
+            flow = network.transfer(nbytes, [nic, pfs])
+            yield flow
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        if cap <= 0:
+            raise ValueError(f"flow cap must be positive, got {cap}")
+        links = list(links)
+        for link in links:
+            if link._network is None:
+                link._network = self
+            elif link._network is not self:
+                raise RuntimeError(f"link {link.name!r} belongs to another network")
+        flow = Flow(self.engine, nbytes, links, cap, tag)
+        if nbytes <= _BYTE_EPS:
+            if latency > 0.0:
+                self.engine.schedule(latency, self._finish_now, flow)
+            else:
+                self._finish_now(flow)
+            return flow
+        if latency > 0.0:
+            self.engine.schedule(latency, self._activate, flow)
+        else:
+            self._activate(flow)
+        return flow
+
+    def link_throughput(self, link: Link) -> float:
+        """Instantaneous aggregate rate through ``link`` (bytes/second)."""
+        self._settle()
+        return sum(f.rate for f in self._active if link in f.links)
+
+    @property
+    def active_flows(self) -> int:
+        """Number of in-flight flows."""
+        self._settle()
+        return len(self._active)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _finish_now(self, flow: Flow) -> None:
+        flow.started_at = min(flow.started_at, self.engine.now)
+        flow.finished_at = self.engine.now
+        flow.remaining = 0.0
+        self.completed += 1
+        flow.done.succeed(flow)
+
+    def _activate(self, flow: Flow) -> None:
+        flow.started_at = self.engine.now
+        self._active.append(flow)
+        self._mark_dirty()
+
+    def _mark_dirty(self) -> None:
+        if not self._dirty:
+            self._dirty = True
+            # Late priority: batch all arrivals/changes at this instant.
+            self.engine.schedule(0.0, self._rebalance, priority=PRIORITY_LATE)
+
+    def _settle(self) -> None:
+        """Force a pending rebalance to run synchronously (for queries)."""
+        if self._dirty:
+            self._rebalance()
+
+    def _advance(self) -> None:
+        now = self.engine.now
+        dt = now - self._last_update
+        if dt > 0.0:
+            for flow in self._active:
+                if flow.rate > 0.0:
+                    flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+        self._last_update = now
+
+    def _rebalance(self) -> None:
+        self._dirty = False
+        self._advance()
+        self._complete_finished()
+        self._allocate()
+        self._schedule_completion()
+
+    def _complete_finished(self) -> None:
+        # A flow is complete when its residual is negligible relative to
+        # its size, or when draining it needs a time step too small to
+        # represent at the current simulated time (float resolution) —
+        # otherwise zero-progress completion events would loop forever.
+        now = self.engine.now
+        time_eps = max(1e-12, abs(now) * 1e-12)
+        finished = [
+            f
+            for f in self._active
+            if f.remaining <= max(_BYTE_EPS, f.nbytes * 1e-9)
+            or (f.rate > 0.0 and f.remaining / f.rate <= time_eps)
+        ]
+        if not finished:
+            return
+        done_set = set(map(id, finished))
+        self._active = [f for f in self._active if id(f) not in done_set]
+        for flow in finished:
+            flow.finished_at = self.engine.now
+            flow.remaining = 0.0
+            self.completed += 1
+            flow.done.succeed(flow)
+
+    def _allocate(self) -> None:
+        """Max-min fair rates with per-flow caps (progressive filling)."""
+        flows = self._active
+        for f in flows:
+            f.rate = 0.0
+        if not flows:
+            return
+        # Link -> list of its unfrozen flows.
+        link_flows: dict[Link, list[Flow]] = {}
+        for f in flows:
+            for link in f.links:
+                link_flows.setdefault(link, []).append(f)
+        residual = {link: link.capacity for link in link_flows}
+        unfrozen = set(map(id, flows))
+        flows_by_id = {id(f): f for f in flows}
+        # Flows on a zero-capacity link can never move: freeze at rate 0.
+        for link, fs in link_flows.items():
+            if link.capacity <= 0.0:
+                for f in fs:
+                    unfrozen.discard(id(f))
+
+        while unfrozen:
+            inc = math.inf
+            for link, fs in link_flows.items():
+                n = sum(1 for f in fs if id(f) in unfrozen)
+                if n:
+                    inc = min(inc, residual[link] / n)
+            for fid in unfrozen:
+                f = flows_by_id[fid]
+                inc = min(inc, f.cap - f.rate)
+            if inc is math.inf:
+                # No finite constraint: flows are effectively unbounded.
+                for fid in unfrozen:
+                    flows_by_id[fid].rate = math.inf
+                break
+            inc = max(inc, 0.0)
+            for fid in unfrozen:
+                flows_by_id[fid].rate += inc
+            for link, fs in link_flows.items():
+                n = sum(1 for f in fs if id(f) in unfrozen)
+                residual[link] -= inc * n
+
+            frozen_now: set[int] = set()
+            for fid in unfrozen:
+                f = flows_by_id[fid]
+                if f.rate >= f.cap * (1.0 - _REL_EPS):
+                    frozen_now.add(fid)
+            for link, fs in link_flows.items():
+                if residual[link] <= link.capacity * _REL_EPS:
+                    for f in fs:
+                        if id(f) in unfrozen:
+                            frozen_now.add(id(f))
+            if not frozen_now:
+                # Numerical stall safeguard; freeze everything.
+                break
+            unfrozen -= frozen_now
+
+    def _schedule_completion(self) -> None:
+        self._completion_token += 1
+        token = self._completion_token
+        next_dt = math.inf
+        for f in self._active:
+            if f.rate > 0.0:
+                next_dt = min(next_dt, f.remaining / f.rate)
+        if next_dt is math.inf:
+            return
+        self.engine.schedule(
+            max(0.0, next_dt), self._on_completion, token, priority=PRIORITY_LATE
+        )
+
+    def _on_completion(self, token: int) -> None:
+        if token != self._completion_token:
+            return  # superseded by a newer rebalance
+        self._rebalance()

@@ -365,3 +365,97 @@ def test_run_process_propagates_exception():
     import pytest as _pytest
     with _pytest.raises(KeyError):
         eng.run_process(boom())
+
+
+# ---------------------------------------------------------------------------
+# run(until)/peek interaction and the zero-delay ready-queue fast path
+# ---------------------------------------------------------------------------
+
+
+def test_run_until_leaves_peeked_event_queued():
+    """The first event past ``until`` is peeked but not popped.
+
+    It must stay queued for a later ``run`` call and must not count
+    toward ``executed``/``stats.events``.
+    """
+    eng = Engine()
+    fired = []
+    eng.schedule(5.0, lambda: fired.append(5.0))
+    eng.schedule(20.0, lambda: fired.append(20.0))
+
+    assert eng.run(until=10.0) == 10.0
+    assert fired == [5.0]
+    assert eng.executed == 1  # the peeked t=20 event was not counted
+    assert eng.peek() == 20.0  # ... and is still queued
+
+    assert eng.run() == 20.0  # resumable: the event fires later
+    assert fired == [5.0, 20.0]
+    assert eng.executed == 2
+    assert eng.peek() == float("inf")
+
+
+def test_run_until_exact_boundary_runs_event():
+    eng = Engine()
+    fired = []
+    eng.schedule(10.0, lambda: fired.append("at"))
+    eng.run(until=10.0)
+    # Callbacks scheduled exactly *at* the horizon do run.
+    assert fired == ["at"]
+
+
+def test_run_until_clamps_clock_then_zero_delay_order_preserved():
+    """Zero-delay events scheduled after a backward clock clamp must
+    still interleave correctly with older queued events."""
+    eng = Engine()
+    order = []
+    eng.schedule(7.0, lambda: order.append("later"))
+    eng.run(until=3.0)  # clock clamped to 3.0, t=7 event still queued
+    eng.schedule(0.0, lambda: order.append("now"))  # fires at t=3
+    eng.run()
+    assert order == ["now", "later"]
+    assert eng.now == 7.0
+
+
+def test_zero_delay_fast_path_fifo_and_priority_bands():
+    from repro.sim.engine import PRIORITY_LATE
+
+    eng = Engine()
+    order = []
+    eng.schedule(0.0, lambda: order.append("late1"), priority=PRIORITY_LATE)
+    eng.schedule(0.0, lambda: order.append("n1"))
+    eng.schedule(0.0, lambda: order.append("n2"))
+    eng.schedule(0.0, lambda: order.append("late2"), priority=PRIORITY_LATE)
+    eng.run()
+    # Normal band before late band at the same instant; FIFO within a
+    # band — identical to a pure-heap engine's (time, priority, seq).
+    assert order == ["n1", "n2", "late1", "late2"]
+    assert eng.stats.events == 4
+    assert eng.stats.fastpath_events >= 1
+
+
+def test_zero_delay_fast_path_merges_with_heap_events():
+    eng = Engine()
+    order = []
+
+    def proc():
+        order.append("start")
+        yield Timeout(1.0)
+        # At t=1: queue a zero-delay callback and a delayed one.
+        eng.schedule(0.0, lambda: order.append("imm"))
+        eng.schedule(2.0, lambda: order.append("delayed"))
+        yield Timeout(5.0)
+        order.append("end")
+
+    eng.process(proc())
+    eng.run()
+    assert order == ["start", "imm", "delayed", "end"]
+
+
+def test_engine_stats_fastpath_counter_bounded_by_events():
+    eng = Engine()
+    for _ in range(5):
+        eng.schedule(0.0, lambda: None)
+    eng.schedule(1.0, lambda: None)
+    eng.run()
+    assert eng.stats.events == 6
+    assert 0 < eng.stats.fastpath_events <= eng.stats.events
