@@ -1,0 +1,172 @@
+"""Fault-injection recovery benchmark: goodput and the data-loss window.
+
+Drives :func:`repro.harness.recovery.recovery_sweep` — a checkpointing
+job is killed mid-epoch under injected storage faults and restarted
+from its last *durable* checkpoint — comparing the sync VOL against
+the async VOL's retry + sync-fallback ladder across flaky-write fault
+rates.  Two invariants are checked on every run:
+
+- **determinism**: the whole sweep is replayed with the same seed and
+  every run's fault-trace signature (and headline numbers) must match
+  bit-for-bit — a chaos layer that cannot replay a failure is useless
+  for debugging one;
+- **no data loss with faults absorbed**: at every injected fault rate
+  the async connector must keep at least as many checkpoints durable
+  as the sync connector, whose un-retried ranks die at the first fault.
+
+Results land in ``BENCH_faults.json`` at the repository root: per
+(mode, fault rate) goodput, data-loss window, durable/lost checkpoint
+counts, and retry/fallback totals.
+
+Run standalone (full mode)::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py
+
+or in CI smoke mode (fewer ranks/rates, same JSON schema)::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py --smoke
+
+Also collectable via pytest (runs the smoke sweep and asserts the
+determinism + robustness invariants)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_faults.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+
+from repro.harness.recovery import recovery_sweep
+from repro.platform.machines import summit
+from repro.workloads.restart import RestartConfig
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_faults.json"
+
+Mi = 1 << 20
+SEED = 90
+
+
+def _shape(smoke: bool):
+    """(nranks, fault_rates, config) for the selected mode."""
+    if smoke:
+        return 12, (0.0, 0.05, 0.2), RestartConfig(
+            elems_per_rank=Mi, checkpoints=4, compute_seconds=5.0)
+    return 48, (0.0, 0.02, 0.05, 0.2), RestartConfig(
+        elems_per_rank=4 * Mi, checkpoints=6, compute_seconds=10.0)
+
+
+def _row(res):
+    return {
+        "mode": res.mode,
+        "fault_rate": res.fault_rate,
+        "nranks": res.nranks,
+        "t_kill": round(res.t_kill, 6),
+        "durable_checkpoints": res.durable_checkpoints,
+        "lost_checkpoints": res.lost_checkpoints,
+        "data_loss_window_s": round(res.data_loss_window, 6),
+        "restart_wall_s": round(res.restart_wall, 6),
+        "goodput": round(res.goodput, 6),
+        "retries": res.retries,
+        "fallbacks": res.fallbacks,
+        "fault_signature": [list(ev) for ev in res.fault_signature],
+    }
+
+
+def run_bench(smoke=False, out=DEFAULT_OUT):
+    nranks, rates, cfg = _shape(smoke)
+    machine = summit()
+    sweep = recovery_sweep(machine, nranks, fault_rates=rates,
+                           config=cfg, seed=SEED)
+    # Determinism gate: an identically-seeded replay must reproduce
+    # every fault trace and every headline number exactly.
+    replay = recovery_sweep(machine, nranks, fault_rates=rates,
+                            config=cfg, seed=SEED)
+    deterministic = all(
+        a.fault_signature == b.fault_signature
+        and a.goodput == b.goodput
+        and a.data_loss_window == b.data_loss_window
+        and a.durable_checkpoints == b.durable_checkpoints
+        for a, b in zip(sweep, replay)
+    )
+    rows = [_row(r) for r in sweep]
+    for row in rows:
+        print(
+            f"{row['mode']:>5} rate={row['fault_rate']:<5g} "
+            f"durable={row['durable_checkpoints']} "
+            f"lost={row['lost_checkpoints']} "
+            f"loss_window={row['data_loss_window_s']:.2f}s "
+            f"goodput={row['goodput']:.3f} "
+            f"retries={row['retries']} fallbacks={row['fallbacks']}"
+        )
+    print(f"deterministic replay: {deterministic}")
+    payload = {
+        "mode": "smoke" if smoke else "full",
+        "machine": machine.name,
+        "seed": SEED,
+        "deterministic": deterministic,
+        "results": rows,
+    }
+    out = pathlib.Path(out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[saved to {out}]")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (smoke sweep: cheap enough for CI)
+# ----------------------------------------------------------------------
+def test_recovery_deterministic_and_async_absorbs_faults(tmp_path):
+    payload = run_bench(smoke=True, out=tmp_path / "BENCH_faults.json")
+    assert payload["deterministic"], "same-seed replay diverged"
+    by_mode = {}
+    for row in payload["results"]:
+        by_mode.setdefault(row["mode"], {})[row["fault_rate"]] = row
+    for rate, async_row in by_mode["async"].items():
+        sync_row = by_mode["sync"][rate]
+        # The async retry/fallback ladder must never do worse than the
+        # un-retried sync path, and must absorb every injected fault.
+        assert (async_row["durable_checkpoints"]
+                >= sync_row["durable_checkpoints"])
+        if rate > 0:
+            assert async_row["retries"] + async_row["fallbacks"] > 0
+            assert async_row["lost_checkpoints"] == 0
+
+
+def test_fig_faults_table(save_figure):
+    from repro.harness import figures
+
+    fig = figures.fig_faults("quick")
+    save_figure(fig)
+    by_mode = {}
+    for mode, rate, durable, lost, *_ in fig.rows:
+        by_mode.setdefault(mode, {})[rate] = (durable, lost)
+    for rate, (durable, lost) in by_mode["async"].items():
+        if rate > 0:
+            # Injected faults must not cost the async path a checkpoint.
+            assert lost == 0
+            assert durable >= by_mode["sync"][rate][0]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fewer ranks and fault rates (CI mode)",
+    )
+    parser.add_argument(
+        "--out", default=str(DEFAULT_OUT),
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+    out = pathlib.Path(args.out)
+    if not out.parent.is_dir():
+        parser.error(f"--out directory does not exist: {out.parent}")
+    payload = run_bench(smoke=args.smoke, out=out)
+    return 0 if payload["deterministic"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

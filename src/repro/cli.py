@@ -42,6 +42,7 @@ _FIGURE_IDS = [
     "fig3a", "fig3b", "fig3c", "fig3d",
     "fig4a", "fig4b", "fig4c", "fig4d",
     "fig5", "fig6", "fig7", "fig8",
+    "fig-faults",
     "mb-memcpy", "mb-gpu",
 ]
 
@@ -58,6 +59,7 @@ _FIGURE_MAKERS = {
     "fig6": figures_mod.fig6,
     "fig7": figures_mod.fig7,
     "fig8": figures_mod.fig8,
+    "fig-faults": figures_mod.fig_faults,
     "mb-memcpy": figures_mod.microbench_memcpy,
     "mb-gpu": figures_mod.microbench_gpu,
 }

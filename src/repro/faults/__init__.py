@@ -1,0 +1,46 @@
+"""Fault injection and failure semantics for the simulated I/O stack.
+
+See :mod:`repro.faults.injector` for the chaos layer and
+:mod:`repro.faults.errors` for the typed failure taxonomy.  The async
+VOL's recovery machinery (bounded retry with backoff, sync fallback) is
+in :mod:`repro.hdf5.async_vol`; the checkpoint-restart-under-failure
+experiment lives in :mod:`repro.harness.recovery`.
+"""
+
+from repro.faults.errors import (
+    FaultError,
+    FlakyReadError,
+    FlakyWriteError,
+    PFSUnavailableError,
+    RetryExhaustedError,
+    SSDFaultError,
+    StagingTimeoutError,
+    TransientIOError,
+    WorkerCrashError,
+    WorkerStallError,
+)
+from repro.faults.injector import (
+    FaultConfig,
+    FaultEvent,
+    FaultInjector,
+    OutageWindow,
+    SlowdownWindow,
+)
+
+__all__ = [
+    "FaultConfig",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FlakyReadError",
+    "FlakyWriteError",
+    "OutageWindow",
+    "PFSUnavailableError",
+    "RetryExhaustedError",
+    "SSDFaultError",
+    "SlowdownWindow",
+    "StagingTimeoutError",
+    "TransientIOError",
+    "WorkerCrashError",
+    "WorkerStallError",
+]

@@ -1,0 +1,83 @@
+"""Typed failure taxonomy for the simulated I/O stack.
+
+Every injected fault raises (or fails an event with) a subclass of
+:class:`FaultError`, so recovery code can distinguish *injected,
+potentially-transient* faults — which the async VOL retries and
+eventually survives via sync fallback — from programming errors, which
+must propagate unchanged.  The hierarchy mirrors where in the stack the
+fault bites:
+
+``FaultError``
+    ├── ``TransientIOError`` — retryable storage-side faults
+    │     ├── ``PFSUnavailableError``   (outage window: whole PFS down)
+    │     ├── ``FlakyWriteError``       (per-op probabilistic write error)
+    │     ├── ``FlakyReadError``        (per-op probabilistic read error)
+    │     └── ``SSDFaultError``         (node-local drive failed)
+    ├── ``WorkerCrashError``  — a rank's background I/O thread died
+    ├── ``WorkerStallError``  — informational: worker paused (GC, OS jitter)
+    ├── ``StagingTimeoutError`` — bounded staging reservation expired
+    └── ``RetryExhaustedError`` — the retry budget ran out (carries the
+          last underlying fault as ``__cause__``)
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FaultError",
+    "FlakyReadError",
+    "FlakyWriteError",
+    "PFSUnavailableError",
+    "RetryExhaustedError",
+    "SSDFaultError",
+    "StagingTimeoutError",
+    "TransientIOError",
+    "WorkerCrashError",
+    "WorkerStallError",
+]
+
+
+class FaultError(IOError):
+    """Base class of every injected fault."""
+
+
+class TransientIOError(FaultError):
+    """A storage-side fault that may succeed when retried."""
+
+
+class PFSUnavailableError(TransientIOError):
+    """The shared parallel file system is inside an outage window."""
+
+    def __init__(self, message: str, until: float = float("nan")):
+        super().__init__(message)
+        #: Simulated time at which the outage window ends (recovery code
+        #: can sleep until then instead of blind-retrying).
+        self.until = until
+
+
+class FlakyWriteError(TransientIOError):
+    """One write request was dropped (e.g. an OST bounced the RPC)."""
+
+
+class FlakyReadError(TransientIOError):
+    """One read request was dropped."""
+
+
+class SSDFaultError(TransientIOError):
+    """A node-local staging drive failed."""
+
+
+class WorkerCrashError(FaultError):
+    """The rank's background I/O worker (Argobots thread) crashed."""
+
+
+class WorkerStallError(FaultError):
+    """The background worker stalled (never raised into user code; used
+    to label stall entries in the fault trace)."""
+
+
+class StagingTimeoutError(FaultError):
+    """A bounded staging-buffer reservation expired before space freed."""
+
+
+class RetryExhaustedError(FaultError):
+    """Bounded retry gave up; ``__cause__`` holds the final fault."""

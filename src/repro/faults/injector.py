@@ -1,0 +1,317 @@
+"""Seeded, trace-recorded fault injection for the simulated I/O stack.
+
+The paper's evaluation covers only the happy path; real async-VOL
+deployments must survive the unhappy ones — the staged data lives in
+node memory until the background drain lands it on the PFS, and the
+shared PFS is precisely the volatile component (Fig. 8).  This module
+makes failure a first-class simulated event:
+
+- :class:`FaultConfig` declares a *schedule* of injectable faults:
+  PFS outage and degradation windows, per-op flaky write/read errors
+  with configurable probability, per-node SSD failures, and background
+  worker stalls and crashes.
+- :class:`FaultInjector` applies the schedule through hooks in
+  :mod:`repro.platform.storage` (``fault_hook`` on the PFS and SSDs),
+  :mod:`repro.platform.contention` (a shared fault-timeline recorder)
+  and :mod:`repro.hdf5.async_vol` (worker dispositions, retry jitter).
+
+Everything is deterministic per seed: the same ``(config, workload)``
+pair produces an identical :attr:`FaultInjector.trace` on every run —
+CI enforces this via :meth:`FaultInjector.signature`.  With no faults
+configured, every hook is ``None`` and the simulation's event schedule
+is untouched (the layer is zero-cost-off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+from repro.faults.errors import (
+    FlakyReadError,
+    FlakyWriteError,
+    PFSUnavailableError,
+    SSDFaultError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.platform.cluster import Cluster
+    from repro.sim.engine import Engine
+
+__all__ = [
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "OutageWindow",
+    "SlowdownWindow",
+]
+
+#: Tag prefixes marking *reliable-path* storage requests (the sync
+#: fallback ladder): the injector never fails these, mirroring a
+#: blocking retry-until-success H5Dwrite.
+RELIABLE_TAGS = ("fallback-w", "fallback-r")
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """The PFS rejects new requests during ``[start, start+duration)``."""
+
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError(f"invalid outage window: {self}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def covers(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class SlowdownWindow:
+    """Shared storage runs at ``factor`` of capacity during the window
+    (an overloaded or recovering PFS), composing multiplicatively with
+    the contention model's availability."""
+
+    start: float
+    duration: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError(f"invalid slowdown window: {self}")
+        if not 0.0 < self.factor < 1.0:
+            raise ValueError(
+                f"slowdown factor must be in (0,1), got {self.factor}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Declarative, seed-deterministic schedule of injectable faults."""
+
+    seed: int = 0
+    #: Probability that one PFS write request errors (checked at issue).
+    write_error_rate: float = 0.0
+    #: Probability that one PFS read request errors.
+    read_error_rate: float = 0.0
+    #: Hard PFS outage windows (new requests raise, in-flight complete).
+    pfs_outages: tuple[OutageWindow, ...] = ()
+    #: Soft degradation windows (capacity scaled, nothing fails).
+    pfs_slowdowns: tuple[SlowdownWindow, ...] = ()
+    #: ``(node_index, at_time)``: the node's local SSD fails at ``at_time``.
+    ssd_failures: tuple[tuple[int, float], ...] = ()
+    #: ``(rank, after_tasks)``: the rank's background worker crashes
+    #: after executing ``after_tasks`` tasks.
+    worker_crashes: tuple[tuple[int, int], ...] = ()
+    #: ``(rank, at_task, seconds)``: the worker stalls before task
+    #: number ``at_task`` (0-based) for ``seconds``.
+    worker_stalls: tuple[tuple[int, int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for rate, label in ((self.write_error_rate, "write_error_rate"),
+                            (self.read_error_rate, "read_error_rate")):
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{label} must be in [0,1), got {rate}")
+        for node, at in self.ssd_failures:
+            if node < 0 or at < 0:
+                raise ValueError(f"invalid ssd failure ({node}, {at})")
+        for rank, after in self.worker_crashes:
+            if rank < 0 or after < 0:
+                raise ValueError(f"invalid worker crash ({rank}, {after})")
+        for rank, at_task, seconds in self.worker_stalls:
+            if rank < 0 or at_task < 0 or seconds <= 0:
+                raise ValueError(
+                    f"invalid worker stall ({rank}, {at_task}, {seconds})"
+                )
+
+    @property
+    def any_pfs_faults(self) -> bool:
+        """Whether the PFS hook has anything to do at all."""
+        return bool(self.write_error_rate or self.read_error_rate
+                    or self.pfs_outages)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One entry of the injected-fault timeline."""
+
+    t: float
+    kind: str
+    info: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+
+    def signature(self) -> tuple:
+        """Hashable, repr-stable identity (CI determinism checks)."""
+        return (round(self.t, 9), self.kind, self.info)
+
+
+class FaultInjector:
+    """Applies a :class:`FaultConfig` to one simulation, recording every
+    injected fault into a deterministic trace."""
+
+    def __init__(self, config: Optional[FaultConfig] = None):
+        self.config = config if config is not None else FaultConfig()
+        self.trace: list[FaultEvent] = []
+        # Purpose-split RNG streams: per-op error draws and retry jitter
+        # must not perturb each other's sequences when one is unused.
+        self._op_rng = np.random.default_rng((self.config.seed, 0xF1))
+        self._retry_rng = np.random.default_rng((self.config.seed, 0xF2))
+        self.engine: Optional["Engine"] = None
+        self._failed_ssds: set[int] = set()
+        self._task_counts: dict[int, int] = {}
+        self._crash_after = dict(self.config.worker_crashes)
+        self._crashed_ranks: set[int] = set()
+        self._stalls = {(rank, at): seconds
+                        for rank, at, seconds in self.config.worker_stalls}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, cluster: "Cluster") -> "FaultInjector":
+        """Install hooks into ``cluster``'s storage layer and schedule
+        the time-based fault windows.  Returns self for chaining."""
+        if self.engine is not None:
+            raise RuntimeError("FaultInjector already attached")
+        self.engine = cluster.engine
+        if self.config.any_pfs_faults:
+            cluster.pfs.fault_hook = self.pfs_hook
+        for start_t, factor in self._slowdown_edges():
+            self.engine.schedule(
+                start_t - self.engine.now, self._apply_slowdown,
+                cluster.pfs, factor,
+            )
+        for node_index, at in self.config.ssd_failures:
+            if node_index < len(cluster.nodes):
+                node = cluster.nodes[node_index]
+                if node.spec.local_ssd is not None:
+                    node.ssd.fault_hook = self.ssd_hook
+                    self.engine.schedule(
+                        at - self.engine.now, self._fail_ssd, node_index
+                    )
+        return self
+
+    def _slowdown_edges(self) -> list[tuple[float, float]]:
+        """(time, factor) capacity edges for the slowdown schedule."""
+        edges = []
+        for w in self.config.pfs_slowdowns:
+            edges.append((w.start, w.factor))
+            edges.append((w.end, 1.0))
+        return sorted(edges)
+
+    def _apply_slowdown(self, pfs, factor: float) -> None:
+        pfs.set_fault_factor(factor)
+        self.note("pfs_slowdown", factor=factor)
+
+    def _fail_ssd(self, node_index: int) -> None:
+        self._failed_ssds.add(node_index)
+        self.note("ssd_failed", node=node_index)
+
+    # ------------------------------------------------------------------
+    # Storage hooks (called from platform.storage at request issue)
+    # ------------------------------------------------------------------
+    def pfs_hook(self, op: str, node, target, nbytes: float, tag) -> None:
+        """May raise a :class:`TransientIOError` for one PFS request."""
+        if isinstance(tag, tuple) and tag and tag[0] in RELIABLE_TAGS:
+            return
+        now = self.engine.now
+        window = self._outage_at(now)
+        if window is not None:
+            self.note("pfs_outage_hit", op=op, tag=tag, until=window.end)
+            raise PFSUnavailableError(
+                f"PFS outage until t={window.end:.6g} (op={op})",
+                until=window.end,
+            )
+        rate = (self.config.write_error_rate if op == "write"
+                else self.config.read_error_rate)
+        if rate > 0.0 and self._op_rng.random() < rate:
+            self.note("flaky_" + op, tag=tag, nbytes=nbytes)
+            exc = FlakyWriteError if op == "write" else FlakyReadError
+            raise exc(f"injected {op} error (tag={tag!r})")
+
+    def ssd_hook(self, op: str, node_index: int, nbytes: float, tag) -> None:
+        """May raise :class:`SSDFaultError` for one local-drive request."""
+        if node_index in self._failed_ssds:
+            self.note("ssd_fault_hit", op=op, node=node_index)
+            raise SSDFaultError(f"node {node_index} local SSD failed")
+
+    def _outage_at(self, t: float) -> Optional[OutageWindow]:
+        for window in self.config.pfs_outages:
+            if window.covers(t):
+                return window
+        return None
+
+    def pfs_available(self, t: Optional[float] = None) -> bool:
+        """Whether the PFS accepts new requests at ``t`` (default: now)."""
+        return self._outage_at(self.engine.now if t is None else t) is None
+
+    def when_pfs_available(self) -> Generator:
+        """Process helper: block until outside every outage window (the
+        reliable fallback path waits out a hard outage instead of
+        failing)."""
+        while True:
+            window = self._outage_at(self.engine.now)
+            if window is None:
+                return
+            yield self.engine.timeout(window.end - self.engine.now)
+
+    # ------------------------------------------------------------------
+    # Async-VOL hooks
+    # ------------------------------------------------------------------
+    def worker_disposition(self, rank: int) -> Optional[tuple[str, float]]:
+        """Called by the background worker before each task.
+
+        Returns ``None`` (proceed), ``("stall", seconds)`` (sleep, then
+        proceed) or ``("crash", 0.0)`` (the worker dies now).  Task
+        counting is per rank and monotonic, so a schedule like
+        ``worker_crashes=((3, 2),)`` deterministically kills rank 3's
+        worker after its second task regardless of interleaving.
+        """
+        count = self._task_counts.get(rank, 0)
+        self._task_counts[rank] = count + 1
+        after = self._crash_after.get(rank)
+        if after is not None and count >= after and rank not in self._crashed_ranks:
+            self._crashed_ranks.add(rank)
+            self.note("worker_crash", rank=rank, task=count)
+            return ("crash", 0.0)
+        seconds = self._stalls.get((rank, count))
+        if seconds is not None:
+            self.note("worker_stall", rank=rank, task=count, seconds=seconds)
+            return ("stall", seconds)
+        return None
+
+    def retry_jitter(self) -> float:
+        """Multiplicative backoff jitter in [0.5, 1.5) — seeded, so the
+        whole retry cascade replays identically per seed."""
+        return 0.5 + float(self._retry_rng.random())
+
+    # ------------------------------------------------------------------
+    # Trace
+    # ------------------------------------------------------------------
+    def note(self, kind: str, t: Optional[float] = None, **info) -> None:
+        """Append one event to the fault timeline.  Also used by the
+        contention layer to interleave availability changes with faults
+        on a single timeline."""
+        if t is None:
+            t = self.engine.now if self.engine is not None else 0.0
+        self.trace.append(FaultEvent(
+            t=t, kind=kind,
+            info=tuple(sorted((k, repr(v)) for k, v in info.items())),
+        ))
+
+    def count(self, kind: str) -> int:
+        """Number of trace events of one kind."""
+        return sum(1 for ev in self.trace if ev.kind == kind)
+
+    def signature(self) -> tuple:
+        """Stable identity of the full fault trace (determinism gate)."""
+        return tuple(ev.signature() for ev in self.trace)

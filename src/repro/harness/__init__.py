@@ -18,17 +18,21 @@ from repro.harness.experiment import ExperimentResult, build_vol, run_experiment
 from repro.harness.sweep import SweepPoint, best_by_config, scale_sweep
 from repro.harness.report import FigureData
 from repro.harness.store import load_results, save_results
+from repro.harness.recovery import RecoveryResult, recovery_sweep, run_recovery
 from repro.harness import figures
 
 __all__ = [
     "ExperimentResult",
     "FigureData",
+    "RecoveryResult",
     "SweepPoint",
     "best_by_config",
     "build_vol",
     "figures",
     "load_results",
+    "recovery_sweep",
     "run_experiment",
+    "run_recovery",
     "save_results",
     "scale_sweep",
 ]

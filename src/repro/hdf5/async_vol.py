@@ -21,6 +21,19 @@ for the first time step.  The first read is a blocking operation"
 background reads of upcoming datasets into the staging buffer; later
 reads that hit the cache block only for a local copy.
 
+Failure semantics (see ``docs/architecture.md``, "Failure semantics"):
+when a :class:`~repro.faults.FaultInjector` is wired in, background
+drains that hit a :class:`~repro.faults.TransientIOError` are retried
+with exponential backoff and seeded jitter; once the retry budget is
+exhausted — or the worker crashes, or a bounded staging reservation
+times out — the operation *falls back to the reliable blocking path*
+(``fallback-*`` tags, exempt from injection, waiting out hard outages)
+instead of deadlocking or losing staged data.  The transactional
+snapshot taken at submission is precisely what makes the fallback safe:
+the payload survives even when the staging medium is what failed.  With
+no injector and no timeouts configured, none of this machinery touches
+the event schedule (zero-cost-off).
+
 Simulator note: the staging copies issued here (``memcpy``,
 ``gpu_transfer``) use per-node precomputed cap/latency constants, and
 PFS drains go through the memoized ``client_cap`` — so the many
@@ -31,6 +44,7 @@ path").  Flow ``tag``s are observational only and never affect classing.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Generator, Optional
 
@@ -38,20 +52,71 @@ import numpy as np
 
 from repro.sim.engine import AllOf, Engine, SimEvent
 from repro.sim.primitives import Queue
+from repro.faults.errors import (
+    FaultError,
+    RetryExhaustedError,
+    StagingTimeoutError,
+    TransientIOError,
+    WorkerCrashError,
+)
 from repro.hdf5.dataspace import Hyperslab
 from repro.hdf5.vol import VOLConnector
 from repro.trace import IOLog, IOOpRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
     from repro.hdf5.eventset import EventSet
     from repro.hdf5.objects import StoredDataset, StoredFile
     from repro.mpi.comm import RankContext
 
-__all__ = ["AsyncVOL", "SequentialPrefetcher", "StagingBuffer"]
+__all__ = ["AsyncVOL", "Reservation", "SequentialPrefetcher", "StagingBuffer"]
+
+
+class Reservation:
+    """A held (or pending) slice of staging space.
+
+    Returned by :meth:`StagingBuffer.reserve`; must be released exactly
+    once via :meth:`release`.  Accounting is strict — double release and
+    over-release raise instead of silently clamping — so a leak in
+    recovery code cannot masquerade as free space and wedge every
+    backpressured writer behind phantom usage.
+    """
+
+    __slots__ = ("buffer", "nbytes", "state")
+
+    def __init__(self, buffer: "StagingBuffer", nbytes: float):
+        self.buffer = buffer
+        self.nbytes = float(nbytes)
+        #: ``"waiting" -> "held" -> "released"``; a timed-out or
+        #: cancelled waiter ends in ``"cancelled"`` and can never be
+        #: granted space afterwards.
+        self.state = "waiting"
+
+    @property
+    def held(self) -> bool:
+        """Whether this reservation currently holds staging space."""
+        return self.state == "held"
+
+    def release(self) -> None:
+        """Return the held space (exactly once)."""
+        if self.state != "held":
+            raise RuntimeError(
+                f"release of {self.state!r} reservation "
+                f"({self.nbytes:.3g}B of {self.buffer.name})"
+            )
+        self.state = "released"
+        self.buffer._return_bytes(self.nbytes)
 
 
 class StagingBuffer:
-    """Byte-granular reservation of a node's staging space (FIFO)."""
+    """Byte-granular reservation of a node's staging space (FIFO).
+
+    :meth:`reserve` hands out :class:`Reservation` handles.  A waiter
+    that times out (or is cancelled) is withdrawn from the FIFO, so it
+    can never be admitted later and leak space nobody will release.
+    The raw :meth:`release` API (bytes, not handles) remains for
+    external bookkeeping but is equally strict about over-release.
+    """
 
     def __init__(self, engine: Engine, capacity: float, name: str = "staging"):
         if capacity <= 0:
@@ -60,31 +125,81 @@ class StagingBuffer:
         self.capacity = float(capacity)
         self.name = name
         self.used = 0.0
-        self._waiters: Deque[tuple[float, SimEvent]] = deque()
+        self._waiters: Deque[tuple[Reservation, SimEvent]] = deque()
 
-    def reserve(self, nbytes: float) -> Generator:
-        """Block until ``nbytes`` of staging space is held."""
+    def reserve(self, nbytes: float,
+                timeout: Optional[float] = None) -> Generator:
+        """Block until ``nbytes`` of staging space is held.
+
+        Returns a :class:`Reservation` (via ``yield from``).  With
+        ``timeout``, gives up after waiting that long and raises
+        :class:`~repro.faults.StagingTimeoutError`; the waiter is
+        withdrawn first, so a timed-out reservation holds nothing.
+        """
         if nbytes > self.capacity:
             raise ValueError(
                 f"single reservation of {nbytes:.3g}B exceeds staging "
                 f"capacity {self.capacity:.3g}B"
             )
+        res = Reservation(self, nbytes)
         if not self._waiters and self.used + nbytes <= self.capacity:
             self.used += nbytes
-            return
+            res.state = "held"
+            return res
         ev = self.engine.event(name=f"{self.name}.reserve")
-        self._waiters.append((nbytes, ev))
-        yield ev
+        self._waiters.append((res, ev))
+        if timeout is None:
+            yield ev
+            return res
+        guard = self.engine.timeout_guard(
+            ev, timeout,
+            exc=StagingTimeoutError(
+                f"{self.name}: {nbytes:.3g}B reservation not granted "
+                f"within {timeout:.6g}s (used {self.used:.3g}B of "
+                f"{self.capacity:.3g}B)"
+            ),
+        )
+        try:
+            yield guard
+        except StagingTimeoutError:
+            self._withdraw(res, ev)
+            raise
+        return res
 
     def release(self, nbytes: float) -> None:
         """Return ``nbytes`` of space, admitting FIFO waiters that now fit."""
+        self._return_bytes(nbytes)
+
+    def _return_bytes(self, nbytes: float) -> None:
+        if nbytes > self.used + 1e-6:
+            raise RuntimeError(
+                f"{self.name}: over-release of {nbytes:.3g}B "
+                f"(only {self.used:.3g}B reserved)"
+            )
         self.used = max(0.0, self.used - nbytes)
+        self._admit()
+
+    def _withdraw(self, res: Reservation, ev: SimEvent) -> None:
+        """Remove a timed-out waiter; hand back space granted in the
+        same instant the deadline fired (the unavoidable race between
+        an admission and the guard's deadline callback)."""
+        if res.held:
+            res.release()
+            return
+        res.state = "cancelled"
+        try:
+            self._waiters.remove((res, ev))
+        except ValueError:  # pragma: no cover - defensive
+            pass
+
+    def _admit(self) -> None:
         while self._waiters:
-            need, ev = self._waiters[0]
-            if self.used + need > self.capacity:
+            res, ev = self._waiters[0]
+            if self.used + res.nbytes > self.capacity:
                 break
             self._waiters.popleft()
-            self.used += need
+            self.used += res.nbytes
+            res.state = "held"
             ev.succeed()
 
 
@@ -124,30 +239,36 @@ class SequentialPrefetcher:
 class _RankState:
     """Per-rank connector state: worker queue and outstanding ops."""
 
-    __slots__ = ("queue", "worker", "outstanding", "initialized")
+    __slots__ = ("queue", "worker", "outstanding", "initialized",
+                 "workers_alive", "crashed")
 
     def __init__(self) -> None:
         self.queue: Optional[Queue] = None
         self.worker = None
         self.outstanding: list[SimEvent] = []
         self.initialized = False
+        #: Live background streams; 0 after every worker has crashed.
+        self.workers_alive = 0
+        #: Once True, new writes take the reliable blocking path inline
+        #: and no further prefetches are planned (degraded mode).
+        self.crashed = False
 
 
 class _WriteDesc:
     """Descriptor for one queued background write (merge-capable)."""
 
     __slots__ = ("ctx", "stored", "selection", "payload", "nbytes",
-                 "record", "staging", "done")
+                 "record", "reservation", "done")
 
     def __init__(self, ctx, stored, selection, payload, nbytes, record,
-                 staging, done):
+                 reservation, done):
         self.ctx = ctx
         self.stored = stored
         self.selection = selection
         self.payload = payload
         self.nbytes = nbytes
         self.record = record
-        self.staging = staging
+        self.reservation = reservation
         self.done = done
 
     @property
@@ -159,12 +280,18 @@ class _WriteDesc:
 class _CacheEntry:
     """One prefetched (or in-flight) dataset selection on a node."""
 
-    __slots__ = ("nbytes", "ready", "state")
+    __slots__ = ("nbytes", "ready", "state", "reservation", "error")
 
     def __init__(self, engine: Engine, nbytes: float):
         self.nbytes = nbytes
         self.ready = engine.event(name="prefetch.ready")
-        self.state = "inflight"  # -> "ready"
+        self.state = "inflight"  # -> "ready" | "failed"
+        #: Staging space held by the fetched bytes (set once reserved).
+        self.reservation: Optional[Reservation] = None
+        #: The fault that killed the prefetch, if any (informational:
+        #: ``ready`` still *succeeds* so drains don't trip on it; the
+        #: reader checks ``state`` and falls back to a blocking read).
+        self.error: Optional[BaseException] = None
 
 
 class AsyncVOL(VOLConnector):
@@ -198,6 +325,28 @@ class AsyncVOL(VOLConnector):
         workloads whose per-op sizes are too small to use the file
         system efficiently (the Fig. 4b regime) at zero application
         cost — the drain happens off the critical path anyway.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector` supplying worker
+        dispositions (stall/crash schedules) and seeded retry jitter.
+        Storage-side faults arrive through the injector's PFS/SSD hooks
+        regardless; wiring the injector here additionally lets the
+        connector replay its recovery behaviour deterministically.
+    max_retries:
+        Background-drain retry budget per batch for transient storage
+        faults before the sync fallback takes over.
+    retry_backoff:
+        Base delay of the exponential backoff (seconds); attempt ``k``
+        waits ``retry_backoff * 2**(k-1)``, scaled by seeded jitter in
+        ``[0.5, 1.5)`` when an injector is wired.
+    staging_timeout:
+        Bound on how long ``H5Dwrite_async`` may block waiting for
+        staging space.  On expiry the op takes the reliable blocking
+        path (``fallback_sync=True``) or raises a typed
+        :class:`~repro.faults.StagingTimeoutError` (never a deadlock).
+    fallback_sync:
+        Whether exhausted retries / staging timeouts / worker crashes
+        degrade to the reliable blocking path (default) instead of
+        failing the operation's event.
     """
 
     mode = "async"
@@ -215,6 +364,11 @@ class AsyncVOL(VOLConnector):
         nworkers: int = 1,
         merge_writes: bool = False,
         merge_threshold: float = 256 * 1024 * 1024,
+        faults: Optional["FaultInjector"] = None,
+        max_retries: int = 3,
+        retry_backoff: float = 0.5,
+        staging_timeout: Optional[float] = None,
+        fallback_sync: bool = True,
     ):
         super().__init__(log)
         if staging not in ("dram", "ssd", "bb"):
@@ -229,6 +383,14 @@ class AsyncVOL(VOLConnector):
             raise ValueError(f"nworkers must be >= 1, got {nworkers}")
         if merge_threshold <= 0:
             raise ValueError("merge_threshold must be positive")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff <= 0:
+            raise ValueError(f"retry_backoff must be positive, got {retry_backoff}")
+        if staging_timeout is not None and staging_timeout < 0:
+            raise ValueError(
+                f"staging_timeout must be non-negative, got {staging_timeout}"
+            )
         self.nworkers = nworkers
         self.merge_writes = merge_writes
         self.merge_threshold = float(merge_threshold)
@@ -239,6 +401,15 @@ class AsyncVOL(VOLConnector):
         if prefetcher is AsyncVOL._DEFAULT_PREFETCHER:
             prefetcher = SequentialPrefetcher()
         self.prefetcher = prefetcher  # None disables read prefetching
+        self.faults = faults
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.staging_timeout = staging_timeout
+        self.fallback_sync = fallback_sync
+        #: Operations completed via the reliable blocking path.
+        self.fallbacks = 0
+        #: Total transient-fault retries across all ranks.
+        self.retries = 0
         self._ranks: dict[int, _RankState] = {}
         self._staging: dict[int, StagingBuffer] = {}
         self._cache: dict[tuple, _CacheEntry] = {}
@@ -285,6 +456,10 @@ class AsyncVOL(VOLConnector):
         if state.initialized:
             return
         state.initialized = True
+        if self.faults is not None and self.faults.engine is None:
+            # Convenience for unattached injectors (unit tests that only
+            # exercise dispositions/jitter): bind the timeline lazily.
+            self.faults.engine = ctx.engine
         yield ctx.engine.timeout(self.init_time)
         state.queue = Queue(ctx.engine, name=f"asyncvol.q{ctx.rank}")
         state.worker = [
@@ -294,19 +469,34 @@ class AsyncVOL(VOLConnector):
             )
             for i in range(self.nworkers)
         ]
+        state.workers_alive = self.nworkers
 
     def _worker_loop(self, ctx: "RankContext", state: _RankState) -> Generator:
         """The rank's background I/O thread: drain tasks in order.
 
-        A failing operation fails its completion event instead of
+        Transient storage faults are retried with backoff and, once the
+        budget is spent, degrade to the sync fallback (no data loss).  A
+        non-transient failure fails the op's completion event instead of
         killing the worker, so the error surfaces at ``H5ESwait`` /
         ``H5Fclose`` (HDF5's event-set error semantics) and later
-        operations still execute.
+        operations still execute.  Injected dispositions may stall the
+        worker (it sleeps, then proceeds) or crash it (the popped task
+        and — once the last worker is gone — the whole queue hand over
+        to a one-shot recovery process).
         """
         while True:
             task = yield state.queue.get()
             if task is Queue.CLOSED:
                 return
+            if self.faults is not None:
+                disposition = self.faults.worker_disposition(ctx.rank)
+                if disposition is not None:
+                    kind, seconds = disposition
+                    if kind == "stall":
+                        yield ctx.engine.timeout(seconds)
+                    else:  # "crash": this worker dies now
+                        self._on_worker_crash(ctx, state, task)
+                        return
             if isinstance(task, _WriteDesc):
                 batch = [task]
                 if self.merge_writes and task.mergeable:
@@ -322,13 +512,14 @@ class AsyncVOL(VOLConnector):
                         batch.append(nxt)
                         total += nxt.nbytes
                 try:
-                    yield from self._bg_write_batch(ctx, batch)
+                    yield from self._drain_with_recovery(ctx, batch)
                 except Exception as err:  # noqa: BLE001
                     # fail every op and free its staging reservation so
                     # backpressured writers are not wedged forever
                     for desc in batch:
                         if not desc.done.triggered:
-                            desc.staging.release(desc.nbytes)
+                            if desc.reservation.held:
+                                desc.reservation.release()
                             desc.done.fail(err)
                 continue
             gen, done = task
@@ -337,6 +528,48 @@ class AsyncVOL(VOLConnector):
             except Exception as err:  # noqa: BLE001 - surface via the event
                 if not done.triggered:
                     done.fail(err)
+
+    def _on_worker_crash(self, ctx: "RankContext", state: _RankState,
+                         task) -> None:
+        """Bookkeeping for one worker's death; spawns the recovery
+        process that completes its popped task (and drains the queue
+        once no worker is left)."""
+        state.workers_alive -= 1
+        if state.workers_alive <= 0:
+            state.crashed = True
+        ctx.engine.process(
+            self._crash_recovery(ctx, state, task, drain=state.crashed),
+            name=f"asyncvol.recovery{ctx.rank}",
+        )
+
+    def _crash_recovery(self, ctx: "RankContext", state: _RankState,
+                        task, drain: bool) -> Generator:
+        """Complete orphaned work after a worker crash.
+
+        Queued writes re-execute through the reliable blocking path —
+        their transactional snapshots make this safe.  Queued prefetches
+        are abandoned (their ``ready`` events *succeed* with the entry
+        still ``"inflight"``; the reader notices and issues a blocking
+        read), because prefetch is best-effort by construction.
+        """
+        tasks = [task]
+        if drain and state.queue is not None:
+            while True:
+                nxt = state.queue.pop_if(lambda item: True)
+                if nxt is None:
+                    break
+                tasks.append(nxt)
+        cause = WorkerCrashError(
+            f"rank {ctx.rank} background worker crashed"
+        )
+        for t in tasks:
+            if isinstance(t, _WriteDesc):
+                yield from self._sync_fallback(ctx, [t], cause)
+            else:
+                gen, done = t
+                gen.close()
+                if not done.triggered:
+                    done.succeed()
 
     def finalize(self, ctx: "RankContext") -> Generator:
         """Tear down this rank's worker (the paper's ``t_term``)."""
@@ -398,8 +631,23 @@ class AsyncVOL(VOLConnector):
         nbytes = self._nbytes(stored, selection)
         t_submit = ctx.engine.now
 
+        if state.crashed:
+            # Degraded mode: no background stream left to drain staging,
+            # so the op takes the reliable blocking path inline.
+            yield from self._inline_sync_write(
+                ctx, stored, selection, data, nbytes, phase, es, t_submit)
+            return
+
         # 1. Transactional copy (blocking): reserve space + local copy.
-        yield from staging.reserve(nbytes)
+        try:
+            reservation = yield from staging.reserve(
+                nbytes, timeout=self.staging_timeout)
+        except StagingTimeoutError:
+            if not self.fallback_sync:
+                raise
+            yield from self._inline_sync_write(
+                ctx, stored, selection, data, nbytes, phase, es, t_submit)
+            return
         if from_gpu:
             yield ctx.cluster.gpu_transfer(ctx.node, nbytes, pinned=pinned,
                                            tag=("stage-d2h", ctx.rank))
@@ -426,18 +674,29 @@ class AsyncVOL(VOLConnector):
         # Snapshot payload now (the staging copy's purpose is exactly to
         # decouple the app buffer from the in-flight data).
         payload = None if data is None else np.array(data)
-        state.queue.put(_WriteDesc(ctx, stored, selection, payload, nbytes,
-                                   record, staging, done))
+        desc = _WriteDesc(ctx, stored, selection, payload, nbytes,
+                          record, reservation, done)
+        if state.crashed:
+            # The last worker died *during* our staging copy: the crash
+            # recovery already drained the queue, so an op pushed now
+            # would sit there forever.  Complete it reliably instead.
+            yield from self._sync_fallback(ctx, [desc], WorkerCrashError(
+                f"rank {ctx.rank} background worker crashed"))
+            return
+        state.queue.put(desc)
 
     def _bg_write_batch(self, ctx, batch: list) -> Generator:
         """Drain one (possibly merged) batch of staged writes to the PFS.
 
         Merged batches issue a single storage request covering every
         operation's bytes; each operation still completes individually
-        (records, payload application, staging release, events).
+        (records, payload application, staging release, events).  No
+        state is consumed before the storage requests land, so a failed
+        attempt can be re-run verbatim.
         """
         head = batch[0]
         target = head.stored.file.target
+        total = 0.0
         if self.staging == "bb":
             # Server-side drain: burst buffer -> PFS, no node involved.
             for req in self._batch_requests(batch):
@@ -449,17 +708,119 @@ class AsyncVOL(VOLConnector):
                 # Drain path reads the staged data back off the drive first.
                 total = sum(d.nbytes for d in batch)
                 yield ctx.node.ssd.read(total, tag=("drain-ssd", ctx.rank))
-                ctx.node.ssd.evict(total)
             for req in self._batch_requests(batch):
                 yield ctx.cluster.pfs_write(
                     ctx.node, target, req, tag=("aw", ctx.rank, head.stored.path),
                 )
+        if self.staging == "ssd":
+            # Evict only after the PFS writes landed (retry safety).
+            ctx.node.ssd.evict(total)
         now = ctx.engine.now
         for desc in batch:
             desc.record.t_complete = now
             desc.stored.apply_write(desc.selection, desc.payload)
-            desc.staging.release(desc.nbytes)
+            desc.reservation.release()
             desc.done.succeed()
+
+    def _drain_with_recovery(self, ctx, batch: list) -> Generator:
+        """Drain a batch, retrying transient faults with exponential
+        backoff (seeded jitter); after ``max_retries`` failures the
+        batch degrades to the sync fallback — or, with
+        ``fallback_sync=False``, raises :class:`RetryExhaustedError`.
+        """
+        attempt = 0
+        while True:
+            try:
+                yield from self._bg_write_batch(ctx, batch)
+                return
+            except TransientIOError as err:
+                attempt += 1
+                self.retries += 1
+                for desc in batch:
+                    desc.record.retries += 1
+                    desc.record.faulted = True
+                if attempt > self.max_retries:
+                    exhausted = RetryExhaustedError(
+                        f"background drain failed after {self.max_retries} "
+                        f"retries ({type(err).__name__}: {err})"
+                    )
+                    exhausted.__cause__ = err
+                    if not self.fallback_sync:
+                        raise exhausted
+                    yield from self._sync_fallback(ctx, batch, exhausted)
+                    return
+                yield ctx.engine.timeout(self._backoff_delay(ctx, attempt, err))
+
+    def _backoff_delay(self, ctx, attempt: int, err: BaseException) -> float:
+        """Exponential backoff with seeded jitter; a hard outage with a
+        known end is waited out instead of blind-hammered."""
+        delay = self.retry_backoff * (2.0 ** (attempt - 1))
+        if self.faults is not None:
+            delay *= self.faults.retry_jitter()
+        until = getattr(err, "until", None)
+        if until is not None and math.isfinite(until):
+            delay = max(delay, until - ctx.engine.now)
+        return delay
+
+    def _sync_fallback(self, ctx, batch: list, cause: BaseException) -> Generator:
+        """Complete staged ops via the reliable blocking path.
+
+        Issues fault-exempt (``fallback-w``) storage requests after
+        waiting out any hard outage, so it cannot fail — mirroring a
+        blocking H5Dwrite that retries until success.  The transactional
+        snapshot taken at submission makes this safe even when the
+        staging medium itself (e.g. the local SSD) is what failed.
+        """
+        if self.faults is not None:
+            self.faults.note("sync_fallback", rank=ctx.rank,
+                             nops=len(batch), cause=type(cause).__name__)
+            yield from self.faults.when_pfs_available()
+        for desc in batch:
+            for req in desc.stored.request_sizes(desc.selection):
+                yield ctx.cluster.pfs_write(
+                    ctx.node, desc.stored.file.target, req,
+                    tag=("fallback-w", ctx.rank, desc.stored.path),
+                )
+            now = ctx.engine.now
+            desc.record.t_complete = now
+            desc.record.faulted = True
+            desc.record.fallback = True
+            desc.stored.apply_write(desc.selection, desc.payload)
+            if self.staging == "ssd":
+                ctx.node.ssd.evict(desc.nbytes)
+            if desc.reservation.held:
+                desc.reservation.release()
+            self.fallbacks += 1
+            if not desc.done.triggered:
+                desc.done.succeed()
+
+    def _inline_sync_write(self, ctx, stored, selection, data, nbytes,
+                           phase, es, t_submit) -> Generator:
+        """App-thread blocking write: the last rung of the fallback
+        ladder, used when the staging reservation times out or the
+        worker pool is dead.  Durable when it returns (``t_unblocked ==
+        t_complete``), fault-exempt, waits out outages."""
+        if self.faults is not None:
+            self.faults.note("inline_fallback", rank=ctx.rank,
+                             dataset=stored.path)
+            yield from self.faults.when_pfs_available()
+        for req in stored.request_sizes(selection):
+            yield ctx.cluster.pfs_write(
+                ctx.node, stored.file.target, req,
+                tag=("fallback-w", ctx.rank, stored.path),
+            )
+        now = ctx.engine.now
+        stored.apply_write(selection, None if data is None else np.array(data))
+        self.fallbacks += 1
+        self.log.append(IOOpRecord(
+            op="write", mode=self.mode, rank=ctx.rank, nbytes=nbytes,
+            dataset=stored.path, phase=phase, t_submit=t_submit,
+            t_unblocked=now, t_complete=now, faulted=True, fallback=True,
+        ))
+        if es is not None:
+            done = ctx.engine.event(name=f"sync-fallback({stored.path})")
+            done.succeed()
+            es.add(done)
 
     @staticmethod
     def _batch_requests(batch: list) -> list[float]:
@@ -483,21 +844,30 @@ class AsyncVOL(VOLConnector):
     ) -> Generator:
         yield from self._ensure_rank(ctx)
         state = self._rank_state(ctx)
-        staging = self._node_staging(ctx)
         nbytes = self._nbytes(stored, selection)
         key = self._cache_key(ctx.rank, stored.path, selection)
         t_submit = ctx.engine.now
 
+        prefetch_faulted = False
         entry = self._cache.get(key)
         if entry is not None:
             was_ready = entry.state == "ready"
             if not was_ready:
                 yield entry.ready  # partially-hidden: wait for in-flight fetch
+            if entry.state != "ready":
+                # The prefetch died (fault or worker crash): forget it
+                # and take the blocking-read path below.
+                prefetch_faulted = True
+                del self._cache[key]
+                if entry.reservation is not None and entry.reservation.held:
+                    entry.reservation.release()
+                entry = None
+        if entry is not None:
             # Local copy from the staging buffer to the app buffer.
             yield ctx.cluster.memcpy(ctx.node, nbytes,
                                      tag=("cache-cpy", ctx.rank))
             del self._cache[key]
-            staging.release(entry.nbytes)
+            entry.reservation.release()
             now = ctx.engine.now
             self.log.append(IOOpRecord(
                 op="read", mode=self.mode, rank=ctx.rank, nbytes=nbytes,
@@ -508,23 +878,52 @@ class AsyncVOL(VOLConnector):
 
         # Miss: blocking read (the paper's first time step), then kick
         # off background prefetch of upcoming datasets.
-        for req in stored.request_sizes(selection):
-            yield ctx.cluster.pfs_read(ctx.node, stored.file.target, req,
-                                       tag=("ar", ctx.rank, stored.path))
+        retries_used, fell_back = yield from self._reliable_read(
+            ctx, stored, selection)
         now = ctx.engine.now
         self.log.append(IOOpRecord(
             op="read", mode=self.mode, rank=ctx.rank, nbytes=nbytes,
             dataset=stored.path, phase=phase, t_submit=t_submit,
             t_unblocked=now, t_complete=now, cache_hit=False,
+            retries=retries_used,
+            faulted=prefetch_faulted or retries_used > 0 or fell_back,
+            fallback=fell_back,
         ))
         # Every blocking miss (re)plans prefetch of upcoming datasets:
         # the first time-step read triggers it (paper §V-A.2), and a new
         # pass over the file (e.g. the next training epoch) re-arms it.
-        if self.prefetcher is not None:
+        if self.prefetcher is not None and not state.crashed:
             for path, sel in self.prefetcher.plan(stored.file, stored.path,
                                                   selection):
                 self._start_prefetch(ctx, state, stored.file, path, sel)
         return stored.read_payload(selection)
+
+    def _reliable_read(self, ctx, stored, selection) -> Generator:
+        """Blocking read with bounded retry; exhausted retries degrade
+        to the fault-exempt reliable path.  Returns ``(retries,
+        fell_back)``."""
+        attempt = 0
+        while True:
+            try:
+                for req in stored.request_sizes(selection):
+                    yield ctx.cluster.pfs_read(
+                        ctx.node, stored.file.target, req,
+                        tag=("ar", ctx.rank, stored.path))
+                return (attempt, False)
+            except TransientIOError as err:
+                attempt += 1
+                self.retries += 1
+                if attempt > self.max_retries:
+                    break
+                yield ctx.engine.timeout(self._backoff_delay(ctx, attempt, err))
+        if self.faults is not None:
+            yield from self.faults.when_pfs_available()
+        for req in stored.request_sizes(selection):
+            yield ctx.cluster.pfs_read(
+                ctx.node, stored.file.target, req,
+                tag=("fallback-r", ctx.rank, stored.path))
+        self.fallbacks += 1
+        return (attempt, True)
 
     def _start_prefetch(self, ctx, state, stored_file, path, selection) -> None:
         dset = stored_file.datasets[path]
@@ -542,10 +941,21 @@ class AsyncVOL(VOLConnector):
 
     def _bg_prefetch(self, ctx, stored_file, nbytes, entry, path) -> Generator:
         staging = self._node_staging(ctx)
-        yield from staging.reserve(nbytes)
-        flow = ctx.cluster.pfs_read(ctx.node, stored_file.target, nbytes,
-                                    tag=("pf", ctx.rank, path))
-        yield flow
+        entry.reservation = yield from staging.reserve(nbytes)
+        try:
+            yield ctx.cluster.pfs_read(ctx.node, stored_file.target, nbytes,
+                                       tag=("pf", ctx.rank, path))
+        except FaultError as err:
+            # Prefetch is best-effort: free the space, mark the entry
+            # failed, and *succeed* the ready event so drains don't trip
+            # on it — the reader checks ``state`` and falls back to a
+            # blocking read.
+            entry.state = "failed"
+            entry.error = err
+            entry.reservation.release()
+            entry.reservation = None
+            entry.ready.succeed()
+            return
         entry.state = "ready"
         entry.ready.succeed()
 

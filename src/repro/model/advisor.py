@@ -262,8 +262,17 @@ class AdaptiveVOL(VOLConnector):
         return decision.mode
 
     def _feed_history(self, n_before: int, nbytes: float) -> None:
-        """Push the operation's observed rate into the model history."""
+        """Push the operation's observed rate into the model history.
+
+        Measurements touched by injected faults (retried drains, sync
+        fallbacks) are excluded: their rates reflect the fault, not the
+        system, and feeding them would poison both the regression
+        history and the r² quality gate that decides whether the rate
+        model is trusted at all.
+        """
         for record in self.log.records[n_before:]:
+            if record.faulted:
+                continue
             rate = record.observed_rate
             if not np.isfinite(rate) or rate <= 0:
                 continue

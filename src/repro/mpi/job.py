@@ -8,6 +8,7 @@ launches one process per rank.
 
 from __future__ import annotations
 
+import traceback
 from typing import Any, Callable, Optional
 
 from repro.sim.engine import Process, SimulationError
@@ -16,6 +17,14 @@ from repro.mpi.costmodel import CollectiveCostModel
 from repro.platform.cluster import Cluster
 
 __all__ = ["MPIJob"]
+
+
+def _name_list(procs: list, limit: int = 8) -> str:
+    """Comma-joined process names, elided past ``limit`` entries."""
+    names = [p.name for p in procs[:limit]]
+    if len(procs) > limit:
+        names.append(f"... +{len(procs) - limit} more")
+    return ", ".join(names)
 
 
 class MPIJob:
@@ -91,20 +100,53 @@ class MPIJob:
         """Run ``program`` on every rank to completion; per-rank results.
 
         Raises :class:`~repro.sim.engine.SimulationError` on deadlock
-        (e.g. mismatched collectives) and re-raises any rank's unhandled
-        exception.
+        (e.g. mismatched collectives), with the surviving ranks' state
+        in the message, and re-raises a failed rank's unhandled
+        exception.  When several ranks failed *differently* — typical
+        under fault injection, where one storm bites ranks in different
+        ways — the error reports every failed rank plus the first
+        rank's traceback instead of silently showing only whichever
+        happened to be rank 0's neighbour.  Ranks that all died with
+        the identical exception (the same programming error everywhere)
+        re-raise that exception unchanged, so callers can match on it.
         """
         procs = self.launch(program, *args, **kwargs)
         engine = self.cluster.engine
-        engine.run()
-        results = []
         for proc in procs:
-            if proc.alive:
-                raise SimulationError(
-                    f"{proc.name} deadlocked (mismatched collective or "
-                    f"un-triggered event) at t={engine.now}"
-                )
-            if proc.done._exc is not None:
-                raise proc.done._exc
-            results.append(proc.value)
-        return results
+            # Subscribe to each rank's terminal event so one rank's
+            # failure is recorded (and reported below, alongside every
+            # other casualty) instead of aborting the whole simulation
+            # mid-flight.
+            proc.done._wait(lambda ev: None)
+        engine.run()
+
+        deadlocked = [p for p in procs if p.alive]
+        if deadlocked:
+            finished = sum(1 for p in procs if not p.alive and p.done._exc is None)
+            failed = sum(1 for p in procs if not p.alive and p.done._exc is not None)
+            raise SimulationError(
+                f"{len(deadlocked)}/{len(procs)} ranks deadlocked "
+                f"(mismatched collective or un-triggered event) at "
+                f"t={engine.now}: {_name_list(deadlocked)}; surviving "
+                f"ranks: {finished} completed, {failed} failed"
+            )
+
+        failures = [p for p in procs if p.done._exc is not None]
+        if len({(type(p.done._exc), str(p.done._exc)) for p in failures}) == 1:
+            # One rank died, or every rank died identically (the same
+            # programming error everywhere): raise the original
+            # exception so callers can match on its type directly.
+            raise failures[0].done._exc
+        if failures:
+            first = failures[0]
+            tb = "".join(traceback.format_exception(
+                type(first.done._exc), first.done._exc,
+                first.done._exc.__traceback__,
+            ))
+            raise SimulationError(
+                f"{len(failures)}/{len(procs)} ranks failed: "
+                f"{_name_list(failures)}; first failure ({first.name}) "
+                f"was {type(first.done._exc).__name__}: {first.done._exc}\n"
+                f"{tb}"
+            ) from first.done._exc
+        return [proc.value for proc in procs]

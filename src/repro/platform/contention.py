@@ -62,10 +62,20 @@ class ContentionModel:
         """Availability factors for ``days`` consecutive runs."""
         return [self.availability(start + d) for d in range(days)]
 
-    def apply(self, fs: ParallelFileSystem, day: int) -> float:
-        """Apply the day's factor to ``fs``; returns the factor used."""
+    def apply(self, fs: ParallelFileSystem, day: int, faults=None) -> float:
+        """Apply the day's factor to ``fs``; returns the factor used.
+
+        ``faults`` (a :class:`repro.faults.FaultInjector`) interleaves
+        the contention change onto the fault timeline, so chaos runs see
+        availability and injected faults on one chronology.  Contention
+        uses :meth:`~ParallelFileSystem.set_availability`, the fault
+        layer :meth:`~ParallelFileSystem.set_fault_factor`; the factors
+        compose multiplicatively and never overwrite each other.
+        """
         factor = self.availability(day)
         fs.set_availability(factor)
+        if faults is not None:
+            faults.note("contention", day=day, availability=round(factor, 12))
         return factor
 
 
@@ -86,6 +96,7 @@ class ContentionProcess:
         interval: float = 60.0,
         jitter_sigma: float = 0.1,
         duration: Optional[float] = None,
+        faults=None,
     ):
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -97,6 +108,9 @@ class ContentionProcess:
         self.interval = interval
         self.jitter_sigma = jitter_sigma
         self.duration = duration
+        #: Optional FaultInjector sharing one timeline with the chaos
+        #: layer (availability swings are logged next to faults).
+        self.faults = faults
         self._rng = np.random.default_rng((model.seed, day, 0xC0))
         self._stopped = False
 
@@ -122,4 +136,8 @@ class ContentionProcess:
                 # writes anyway — don't burn RNG draws on no-ops.
                 continue
             jitter = float(np.exp(self.jitter_sigma * self._rng.standard_normal()))
-            self.fs.set_availability(min(1.0, max(self.model.floor, base * jitter)))
+            factor = min(1.0, max(self.model.floor, base * jitter))
+            self.fs.set_availability(factor)
+            if self.faults is not None:
+                self.faults.note("contention", day=self.day,
+                                 availability=round(factor, 12))

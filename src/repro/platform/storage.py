@@ -84,6 +84,14 @@ class ParallelFileSystem:
             self.backend: spec.peak_bandwidth
         }
         self._availability = 1.0
+        #: Multiplicative fault-layer capacity factor (degradation
+        #: windows), composed with contention availability.
+        self._fault_factor = 1.0
+        #: Optional chaos hook ``(op, node, target, nbytes, tag)`` called
+        #: as each request is issued; may raise a
+        #: :class:`repro.faults.TransientIOError`.  ``None`` (default)
+        #: keeps the request path byte-identical to a fault-free build.
+        self.fault_hook = None
         self._targets: dict[str, FileTarget] = {}
         #: In-flight request count (drives the metadata-serialization
         #: latency term).
@@ -139,13 +147,22 @@ class ParallelFileSystem:
     # -- data movement -----------------------------------------------------
     def write(self, node: "Node", target: FileTarget, nbytes: float,
               tag=None) -> Flow:
-        """Start one client's write of ``nbytes`` to ``target``."""
+        """Start one client's write of ``nbytes`` to ``target``.
+
+        Raises a :class:`repro.faults.TransientIOError` *before any
+        bytes move* if a fault injector rejects the request, so a failed
+        request is always retry-safe (no partial accounting).
+        """
+        if self.fault_hook is not None:
+            self.fault_hook("write", node, target, nbytes, tag)
         target.bytes_written += nbytes
         return self._transfer(node, target, nbytes, tag)
 
     def read(self, node: "Node", target: FileTarget, nbytes: float,
              tag=None) -> Flow:
         """Start one client's read of ``nbytes`` from ``target``."""
+        if self.fault_hook is not None:
+            self.fault_hook("read", node, target, nbytes, tag)
         target.bytes_read += nbytes
         return self._transfer(node, target, nbytes, tag)
 
@@ -196,6 +213,30 @@ class ParallelFileSystem:
             # a rebalance checkpoint on every in-flight flow.
             return
         self._availability = factor
+        self._apply_capacity_factors()
+
+    @property
+    def fault_factor(self) -> float:
+        """Current fault-layer degradation factor (1.0 = healthy)."""
+        return self._fault_factor
+
+    def set_fault_factor(self, factor: float) -> None:
+        """Scale shared capacity by a *fault-layer* factor.
+
+        Composes multiplicatively with :meth:`set_availability`, so a
+        degradation window injected by :class:`repro.faults.FaultInjector`
+        and the contention model's per-day availability never clobber
+        each other's state.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"fault factor must be in (0,1], got {factor}")
+        if factor == self._fault_factor:
+            return
+        self._fault_factor = factor
+        self._apply_capacity_factors()
+
+    def _apply_capacity_factors(self) -> None:
+        factor = self._availability * self._fault_factor
         for link, base in self._base_capacities.items():
             link.set_capacity(base * factor)
 
@@ -230,8 +271,9 @@ class LustreModel(ParallelFileSystem):
         ceiling = min(count * self.spec.ost_bandwidth, self.spec.peak_bandwidth)
         link = Link(f"{self.name}.file({path})", ceiling)
         self._base_capacities[link] = ceiling
-        if self._availability != 1.0:
-            link.set_capacity(ceiling * self._availability)
+        factor = self._availability * self._fault_factor
+        if factor != 1.0:
+            link.set_capacity(ceiling * factor)
         return FileTarget(path, self, stripe_count=count, links=(link,))
 
 
@@ -249,9 +291,15 @@ class NodeLocalSSD:
         self.write_link = Link(f"ssd[{node.index}].write", spec.write_bandwidth)
         self.read_link = Link(f"ssd[{node.index}].read", spec.read_bandwidth)
         self.bytes_stored = 0.0
+        #: Optional chaos hook ``(op, node_index, nbytes, tag)``; may
+        #: raise :class:`repro.faults.SSDFaultError` once the drive has
+        #: been failed by an injector schedule.
+        self.fault_hook = None
 
     def write(self, nbytes: float, tag=None) -> Flow:
         """Write ``nbytes`` to the local drive."""
+        if self.fault_hook is not None:
+            self.fault_hook("write", self.node.index, nbytes, tag)
         if self.bytes_stored + nbytes > self.spec.capacity_bytes:
             raise RuntimeError(
                 f"node {self.node.index} SSD full: "
@@ -262,6 +310,8 @@ class NodeLocalSSD:
 
     def read(self, nbytes: float, tag=None) -> Flow:
         """Read ``nbytes`` back from the local drive."""
+        if self.fault_hook is not None:
+            self.fault_hook("read", self.node.index, nbytes, tag)
         return self.network.transfer(nbytes, [self.read_link], tag=tag)
 
     def evict(self, nbytes: float) -> None:

@@ -18,6 +18,7 @@ global state.
 from repro.sim.engine import (
     AllOf,
     AnyOf,
+    DeadlineExceeded,
     Engine,
     EngineStats,
     Process,
@@ -32,6 +33,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Barrier",
+    "DeadlineExceeded",
     "Engine",
     "EngineStats",
     "Flow",

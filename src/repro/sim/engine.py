@@ -27,6 +27,7 @@ from typing import Any, Callable, Generator, Iterable, Optional
 __all__ = [
     "AllOf",
     "AnyOf",
+    "DeadlineExceeded",
     "Engine",
     "EngineStats",
     "Process",
@@ -44,6 +45,16 @@ PRIORITY_LATE = 1
 
 class SimulationError(RuntimeError):
     """Raised for violations of engine invariants (e.g. time reversal)."""
+
+
+class DeadlineExceeded(TimeoutError):
+    """A :meth:`Engine.timeout_guard` deadline expired before its waitable
+    fired.  ``deadline`` is the absolute simulated time of expiry."""
+
+    def __init__(self, message: str = "deadline exceeded",
+                 deadline: float = float("nan")):
+        super().__init__(message)
+        self.deadline = deadline
 
 
 class EngineStats:
@@ -420,6 +431,57 @@ class Engine:
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start a new process executing ``generator``."""
         return Process(self, generator, name=name)
+
+    def timeout_guard(
+        self,
+        waitable: Any,
+        timeout: float,
+        exc: Optional[BaseException] = None,
+    ) -> SimEvent:
+        """Bound any wait by a deadline.
+
+        Returns an event that mirrors ``waitable``'s outcome (value or
+        failure) if it fires within ``timeout`` simulated seconds, and
+        otherwise fails with ``exc`` (default: :class:`DeadlineExceeded`).
+        The underlying waitable is *not* cancelled — a resource-granting
+        event (semaphore permit, staging reservation) that fires after
+        the deadline still grants the resource, so guarded acquirers
+        must cancel or release on :class:`DeadlineExceeded` (see
+        ``StagingBuffer.reserve`` for the pattern).
+
+        Tie-break: a waitable firing at exactly the deadline instant
+        wins or loses deterministically by schedule order — the deadline
+        callback is scheduled *now*, so an inner event triggered before
+        this call loses the race and the guard still mirrors it.
+        """
+        if timeout < 0:
+            raise ValueError(f"negative timeout_guard timeout: {timeout}")
+        inner = waitable._as_event(self)
+        done = SimEvent(self, name="timeout_guard")
+        deadline = self._now + timeout
+
+        def on_inner(ev: SimEvent) -> None:
+            if done._triggered:
+                return
+            if ev._exc is not None:
+                done.fail(ev._exc)
+            else:
+                done.succeed(ev._value)
+
+        def on_deadline() -> None:
+            if done._triggered:
+                return
+            done.fail(
+                exc if exc is not None
+                else DeadlineExceeded(
+                    f"wait on {inner.name!r} exceeded {timeout:.6g}s",
+                    deadline=deadline,
+                )
+            )
+
+        inner._wait(on_inner)
+        self.schedule(timeout, on_deadline)
+        return done
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the event queue drains or ``until`` is reached.

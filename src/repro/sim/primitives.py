@@ -60,6 +60,21 @@ class Semaphore:
             self._waiters.append(ev)
         return ev
 
+    def cancel(self, ev: SimEvent) -> bool:
+        """Withdraw a pending :meth:`acquire` (e.g. after a timed-out
+        ``Engine.timeout_guard``), so the abandoned waiter can never be
+        handed a permit nobody will release.
+
+        Returns ``True`` if the waiter was still queued.  If the permit
+        was already granted (``ev.triggered``), the caller holds it and
+        must :meth:`release` it instead; ``False`` is returned.
+        """
+        try:
+            self._waiters.remove(ev)
+            return True
+        except ValueError:
+            return False
+
     def release(self) -> None:
         """Release a held permit, waking the oldest waiter if any."""
         if self._in_use <= 0:
@@ -124,6 +139,19 @@ class Queue:
         else:
             self._getters.append(ev)
         return ev
+
+    def cancel_get(self, ev: SimEvent) -> bool:
+        """Withdraw a pending :meth:`get` whose waiter gave up (deadline).
+
+        Returns ``True`` if the getter was still queued; ``False`` if it
+        already received an item (the caller owns that item) or was
+        released by :meth:`close`.
+        """
+        try:
+            self._getters.remove(ev)
+            return True
+        except ValueError:
+            return False
 
     def pop_if(self, predicate) -> Any:
         """Pop and return the head item if ``predicate(head)``; else None.

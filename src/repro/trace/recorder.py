@@ -35,6 +35,15 @@ class IOOpRecord:
     t_unblocked: float
     t_complete: float = float("nan")
     cache_hit: bool = False
+    #: Background-drain retries this operation needed (0 on the happy path).
+    retries: int = 0
+    #: Whether any injected fault touched this operation (retried and/or
+    #: fallen back).  Faulted measurements are excluded from the Fig. 2
+    #: model history — their rates reflect the fault, not the system.
+    faulted: bool = False
+    #: Whether the operation completed via the synchronous fallback
+    #: ladder instead of the normal background drain.
+    fallback: bool = False
 
     def __post_init__(self) -> None:
         if self.op not in ("write", "read"):
@@ -45,6 +54,8 @@ class IOOpRecord:
             raise ValueError(f"negative nbytes: {self.nbytes}")
         if self.t_unblocked < self.t_submit:
             raise ValueError("t_unblocked before t_submit")
+        if self.retries < 0:
+            raise ValueError(f"negative retries: {self.retries}")
 
     @property
     def blocking_time(self) -> float:

@@ -1,0 +1,543 @@
+"""Chaos tests: fault injection, retry/fallback ladders, failure APIs.
+
+Every scenario here is seeded — the same schedule replays bit-for-bit,
+which is asserted explicitly (a chaos layer that cannot reproduce a
+failure is useless for debugging one).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import DeadlineExceeded, Engine
+from repro.mpi import MPIJob
+from repro.platform import Cluster
+from repro.platform import testbed as make_testbed
+from repro.hdf5 import (
+    FLOAT64,
+    AsyncVOL,
+    EventSet,
+    H5Library,
+    NativeVOL,
+    slab_1d,
+)
+from repro.hdf5.async_vol import StagingBuffer
+from repro.faults import (
+    FaultConfig,
+    FaultInjector,
+    FlakyWriteError,
+    OutageWindow,
+    RetryExhaustedError,
+    StagingTimeoutError,
+)
+
+MiB = 1 << 20
+
+
+def make_env(nodes=1, ranks_per_node=4, nprocs=1, fault_config=None,
+             **machine_kw):
+    eng = Engine()
+    cluster = Cluster(
+        eng, make_testbed(nodes=nodes, ranks_per_node=ranks_per_node,
+                          **machine_kw),
+        nodes,
+    )
+    injector = None
+    if fault_config is not None:
+        injector = FaultInjector(fault_config).attach(cluster)
+    job = MPIJob(cluster, nprocs, ranks_per_node=ranks_per_node)
+    # Materialize even the multi-MiB test datasets so the no-data-loss
+    # assertions can check real payload round trips.
+    lib = H5Library(cluster, materialize_limit=256 * MiB)
+    return eng, cluster, job, lib, injector
+
+
+def write_program(lib, vol, n_writes=4, n_elems=MiB):
+    """One rank writing ``n_writes`` datasets, payload = arange."""
+
+    def program(ctx):
+        f = yield from lib.create(ctx, "/chaos.h5", vol)
+        for i in range(n_writes):
+            d = f.create_dataset(f"/d{i}", shape=(n_elems,), dtype=FLOAT64)
+            yield from d.write(data=np.arange(float(n_elems)), phase=i)
+        yield from f.close()
+        return ctx.now
+
+    return program
+
+
+def assert_no_data_loss(lib, vol, n_writes, n_elems=MiB):
+    """Every write durable with the exact payload the app handed over."""
+    recs = vol.log.select(op="write")
+    assert len(recs) == n_writes
+    assert all(math.isfinite(r.t_complete) for r in recs)
+    f = lib.files["/chaos.h5"]
+    for i in range(n_writes):
+        stored = f.datasets[f"/d{i}"]
+        assert np.allclose(stored.data, np.arange(float(n_elems)))
+
+
+# ---------------------------------------------------------------------------
+# Sim kernel: failing events and deadline guards
+# ---------------------------------------------------------------------------
+
+
+def test_failed_event_raises_in_waiter():
+    eng = Engine()
+    ev = eng.event(name="boom")
+
+    def failer():
+        yield eng.timeout(1.0)
+        ev.fail(ValueError("injected"))
+
+    def waiter():
+        with pytest.raises(ValueError, match="injected"):
+            yield ev
+        return eng.now
+
+    eng.process(failer())
+    assert eng.run_process(waiter()) == 1.0
+
+
+def test_timeout_guard_expires_with_typed_error():
+    eng = Engine()
+    never = eng.event(name="never")
+
+    def proc():
+        with pytest.raises(DeadlineExceeded):
+            yield eng.timeout_guard(never, 2.5)
+        return eng.now
+
+    assert eng.run_process(proc()) == 2.5
+
+
+def test_timeout_guard_mirrors_inner_success():
+    eng = Engine()
+    ev = eng.event(name="inner")
+
+    def firer():
+        yield eng.timeout(1.0)
+        ev.succeed("payload")
+
+    def proc():
+        got = yield eng.timeout_guard(ev, 5.0)
+        return got, eng.now
+
+    eng.process(firer())
+    assert eng.run_process(proc()) == ("payload", 1.0)
+
+
+# ---------------------------------------------------------------------------
+# StagingBuffer strict accounting
+# ---------------------------------------------------------------------------
+
+
+def test_staging_over_release_raises():
+    buf = StagingBuffer(Engine(), capacity=100.0)
+    with pytest.raises(RuntimeError, match="over-release"):
+        buf.release(1.0)
+
+
+def test_reservation_double_release_raises():
+    eng = Engine()
+    buf = StagingBuffer(eng, capacity=100.0)
+
+    def proc():
+        res = yield from buf.reserve(10.0)
+        res.release()
+        assert buf.used == 0.0
+        with pytest.raises(RuntimeError, match="release of 'released'"):
+            res.release()
+
+    eng.run_process(proc())
+
+
+def test_staging_reserve_timeout_withdraws_waiter():
+    """A timed-out reservation raises the typed error, holds nothing,
+    and later releases admit other waiters normally (no phantom usage,
+    no deadlock)."""
+    eng = Engine()
+    buf = StagingBuffer(eng, capacity=100.0)
+    got = []
+
+    def holder():
+        res = yield from buf.reserve(90.0)
+        yield eng.timeout(10.0)
+        res.release()
+
+    def impatient():
+        yield eng.timeout(1.0)
+        with pytest.raises(StagingTimeoutError):
+            yield from buf.reserve(50.0, timeout=2.0)
+        got.append(("timeout", eng.now))
+
+    def patient():
+        yield eng.timeout(2.0)
+        res = yield from buf.reserve(50.0)
+        got.append(("granted", eng.now))
+        res.release()
+
+    eng.process(holder())
+    eng.process(impatient())
+    eng.process(patient())
+    eng.run()
+    assert got == [("timeout", 3.0), ("granted", 10.0)]
+    assert buf.used == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Chaos scenario (a): drain failure -> retry -> success
+# ---------------------------------------------------------------------------
+
+
+def run_flaky_writes(seed=7, rate=0.4, **vol_kw):
+    fc = FaultConfig(seed=seed, write_error_rate=rate)
+    eng, cluster, job, lib, injector = make_env(fault_config=fc)
+    vol = AsyncVOL(init_time=0.0, faults=injector, **vol_kw)
+    job.run(write_program(lib, vol))
+    return lib, vol, injector
+
+
+def test_flaky_drain_retried_to_success():
+    lib, vol, injector = run_flaky_writes()
+    assert injector.count("flaky_write") > 0
+    assert vol.retries > 0
+    assert_no_data_loss(lib, vol, n_writes=4)
+    # faulted ops are flagged (and only those)
+    recs = vol.log.select(op="write")
+    assert any(r.faulted and r.retries > 0 for r in recs)
+    assert all(r.retries == 0 for r in recs if not r.faulted)
+
+
+def test_chaos_deterministic_per_seed():
+    _, vol_a, inj_a = run_flaky_writes(seed=7)
+    _, vol_b, inj_b = run_flaky_writes(seed=7)
+    assert inj_a.signature() == inj_b.signature()
+    assert [(r.dataset, r.t_complete, r.retries, r.fallback)
+            for r in vol_a.log.records] == \
+           [(r.dataset, r.t_complete, r.retries, r.fallback)
+            for r in vol_b.log.records]
+    # ... and a different seed draws a different fault schedule
+    _, _, inj_c = run_flaky_writes(seed=8)
+    assert inj_a.signature() != inj_c.signature()
+
+
+# ---------------------------------------------------------------------------
+# Chaos scenario (b): retries exhausted -> sync fallback, no data loss
+# ---------------------------------------------------------------------------
+
+
+def test_retry_exhaustion_falls_back_without_data_loss():
+    lib, vol, injector = run_flaky_writes(rate=0.97, max_retries=2)
+    assert vol.fallbacks > 0
+    assert_no_data_loss(lib, vol, n_writes=4)
+    recs = vol.log.select(op="write")
+    assert any(r.fallback for r in recs)
+    assert injector.count("sync_fallback") > 0
+
+
+def test_retry_exhaustion_raises_when_fallback_disabled():
+    fc = FaultConfig(seed=7, write_error_rate=0.97)
+    eng, cluster, job, lib, injector = make_env(fault_config=fc)
+    vol = AsyncVOL(init_time=0.0, faults=injector, max_retries=1,
+                   fallback_sync=False)
+    with pytest.raises(RetryExhaustedError) as excinfo:
+        job.run(write_program(lib, vol))
+    assert isinstance(excinfo.value.__cause__, FlakyWriteError)
+
+
+def test_outage_window_waited_out_by_backoff():
+    """A hard PFS outage fails the drain; the backoff sleeps past the
+    window's end (PFSUnavailableError.until) and the retry lands."""
+    fc = FaultConfig(seed=1, pfs_outages=(OutageWindow(0.0, 5.0),))
+    eng, cluster, job, lib, injector = make_env(fault_config=fc)
+    vol = AsyncVOL(init_time=0.0, faults=injector)
+    job.run(write_program(lib, vol, n_writes=2))
+    assert injector.count("pfs_outage_hit") > 0
+    assert_no_data_loss(lib, vol, n_writes=2)
+    recs = vol.log.select(op="write")
+    assert all(r.t_complete >= 5.0 for r in recs)
+
+
+# ---------------------------------------------------------------------------
+# Chaos scenario (c): staging timeout -> typed error, not deadlock
+# ---------------------------------------------------------------------------
+
+
+def stalled_staging_env(**vol_kw):
+    """Writes into a tiny staging buffer while the PFS is down for a
+    long time: the drain cannot free space, so later reservations
+    cannot be granted before their timeout."""
+    fc = FaultConfig(seed=3, pfs_outages=(OutageWindow(0.0, 1000.0),))
+    eng, cluster, job, lib, injector = make_env(fault_config=fc)
+    frac = 64 * MiB / cluster.machine.node.dram_bytes
+    vol = AsyncVOL(init_time=0.0, faults=injector, staging_fraction=frac,
+                   max_retries=100, staging_timeout=5.0, **vol_kw)
+    return eng, job, lib, vol
+
+
+def test_staging_timeout_raises_typed_error():
+    eng, job, lib, vol = stalled_staging_env(fallback_sync=False)
+
+    def program(ctx):
+        f = yield from lib.create(ctx, "/t.h5", vol)
+        with pytest.raises(StagingTimeoutError):
+            for i in range(4):  # 4 x 32 MiB > 64 MiB staging
+                d = f.create_dataset(f"/d{i}", shape=(4 * MiB,),
+                                     dtype=FLOAT64)
+                yield from d.write(phase=i)
+        return ctx.now
+
+    # raised into the app promptly (submit + timeout), not a hang until
+    # the outage clears at t=1000
+    assert job.run(program)[0] < 100.0
+
+
+def test_staging_timeout_falls_back_inline():
+    eng, job, lib, vol = stalled_staging_env(fallback_sync=True)
+
+    def program(ctx):
+        f = yield from lib.create(ctx, "/t.h5", vol)
+        for i in range(4):
+            d = f.create_dataset(f"/d{i}", shape=(4 * MiB,), dtype=FLOAT64)
+            yield from d.write(data=np.arange(4.0 * MiB), phase=i)
+        yield from f.close()
+
+    job.run(program)
+    recs = vol.log.select(op="write")
+    assert len(recs) == 4
+    assert all(math.isfinite(r.t_complete) for r in recs)
+    assert any(r.fallback for r in recs)
+    f = lib.files["/t.h5"]
+    for i in range(4):
+        assert np.allclose(f.datasets[f"/d{i}"].data, np.arange(4.0 * MiB))
+
+
+# ---------------------------------------------------------------------------
+# Worker crash / stall
+# ---------------------------------------------------------------------------
+
+
+def test_worker_crash_drains_queue_via_fallback():
+    fc = FaultConfig(seed=5, worker_crashes=((0, 1),))
+    eng, cluster, job, lib, injector = make_env(fault_config=fc)
+    vol = AsyncVOL(init_time=0.0, faults=injector)
+    job.run(write_program(lib, vol, n_writes=6))
+    assert injector.count("worker_crash") == 1
+    assert vol.fallbacks > 0
+    assert_no_data_loss(lib, vol, n_writes=6)
+    # writes issued after the crash took the inline reliable path
+    assert injector.count("inline_fallback") > 0
+
+
+def test_worker_stall_delays_completion_only():
+    def total_drain(fault_config):
+        eng, cluster, job, lib, injector = make_env(fault_config=fault_config)
+        vol = AsyncVOL(init_time=0.0, faults=injector)
+        job.run(write_program(lib, vol, n_writes=2))
+        recs = vol.log.select(op="write")
+        assert all(math.isfinite(r.t_complete) for r in recs)
+        return max(r.t_complete for r in recs)
+
+    clean = total_drain(FaultConfig(seed=5))
+    stalled = total_drain(FaultConfig(seed=5, worker_stalls=((0, 0, 7.0),)))
+    assert stalled == pytest.approx(clean + 7.0, rel=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# EventSet error accounting (H5ES semantics)
+# ---------------------------------------------------------------------------
+
+
+def test_eventset_error_accounting_and_suppression():
+    eng = Engine()
+    es = EventSet(eng)
+    ok1, bad, ok2 = (eng.event(name=n) for n in ("ok1", "bad", "ok2"))
+    for ev in (ok1, bad, ok2):
+        es.add(ev)
+
+    def driver():
+        yield eng.timeout(1.0)
+        ok1.succeed()
+        bad.fail(FlakyWriteError("injected"))
+        yield eng.timeout(1.0)
+        ok2.succeed()
+
+    def waiter():
+        yield from es.wait(raise_on_error=False)
+        assert eng.now == 2.0  # drained everything despite the failure
+        assert es.n_pending == 0
+        assert es.err_count == 1
+        [(idx, exc)] = es.get_err_info()
+        assert idx == 1 and isinstance(exc, FlakyWriteError)
+        es.clear_errors()
+        assert es.err_count == 0
+
+    eng.process(driver())
+    eng.run_process(waiter())
+
+
+def test_eventset_wait_with_concurrent_inserts_and_one_failure():
+    """Ops inserted while the wait is in progress (prefetcher-style) are
+    drained too; the one failure is raised only after everything —
+    including the late inserts — completed."""
+    eng = Engine()
+    es = EventSet(eng)
+    first = eng.event(name="first")
+    es.add(first)
+    landed = []
+
+    def prefetcher():
+        # inserts trickle in while the app is already inside es.wait()
+        for i in range(3):
+            ev = eng.event(name=f"pf{i}")
+            es.add(ev)
+            if i == 1:
+                ev.fail(FlakyWriteError("prefetch died"))
+            else:
+                ev.succeed(delay=2.0)
+                ev._wait(lambda e, i=i: landed.append((eng.now, i)))
+            yield eng.timeout(1.0)
+
+    def app():
+        first.succeed(delay=0.5)
+        with pytest.raises(FlakyWriteError, match="prefetch died"):
+            yield from es.wait()
+        return eng.now, es.err_count
+
+    eng.process(prefetcher())
+    t_done, nerr = eng.run_process(app())
+    # last insert lands at t=2 and completes at t=4: the failure at t=1
+    # did not cut the wait short
+    assert t_done == 4.0
+    assert nerr == 1
+    assert len(landed) == 2
+    assert es.n_pending == 0
+
+
+# ---------------------------------------------------------------------------
+# Advisor: faulted measurements are quarantined
+# ---------------------------------------------------------------------------
+
+
+def test_advisor_history_excludes_faulted_records():
+    from repro.model import (
+        AdaptiveVOL,
+        Advisor,
+        ComputeTimeModel,
+        IORateModel,
+        MeasurementHistory,
+        TransactOverheadModel,
+    )
+    from repro.platform.memory import MemcpySpec
+    from repro.trace import IOLog, IOOpRecord
+
+    advisor = Advisor(
+        ComputeTimeModel(),
+        IORateModel(MeasurementHistory(), mode="sync"),
+        TransactOverheadModel.from_memcpy_spec(MemcpySpec()),
+    )
+    log = IOLog()
+    adaptive = AdaptiveVOL(NativeVOL(log), AsyncVOL(log=IOLog()),
+                           advisor, nranks=4, log=log)
+    common = dict(op="write", mode="sync", rank=0, nbytes=float(MiB),
+                  dataset="/d", phase=0, t_submit=0.0)
+    log.append(IOOpRecord(t_unblocked=1.0, t_complete=1.0, **common))
+    log.append(IOOpRecord(t_unblocked=9.0, t_complete=9.0, faulted=True,
+                          retries=2, **common))
+    adaptive._feed_history(0, float(MiB))
+    history = advisor.io_rate_model.history
+    assert len(history) == 1  # the faulted (slow) measurement is excluded
+
+
+# ---------------------------------------------------------------------------
+# MPIJob failure reporting
+# ---------------------------------------------------------------------------
+
+
+def test_mpijob_reports_all_failed_ranks():
+    from repro.sim.engine import SimulationError
+
+    eng, cluster, job, lib, _ = make_env(nprocs=4)
+
+    def program(ctx):
+        yield ctx.engine.timeout(float(ctx.rank))
+        if ctx.rank >= 2:
+            raise FlakyWriteError(f"rank {ctx.rank} storm")
+        return ctx.rank
+
+    with pytest.raises(SimulationError) as excinfo:
+        job.run(program)
+    msg = str(excinfo.value)
+    assert "2/4 ranks failed" in msg
+    assert "job.rank2" in msg and "job.rank3" in msg
+    assert "FlakyWriteError" in msg and "rank 2 storm" in msg
+    assert isinstance(excinfo.value.__cause__, FlakyWriteError)
+
+
+def test_mpijob_single_failure_preserved():
+    eng, cluster, job, lib, _ = make_env(nprocs=4)
+
+    def program(ctx):
+        yield ctx.engine.timeout(1.0)
+        if ctx.rank == 1:
+            raise ValueError("just one")
+
+    with pytest.raises(ValueError, match="just one"):
+        job.run(program)
+
+
+def test_mpijob_deadlock_reports_survivor_state():
+    from repro.sim.engine import SimulationError
+
+    eng, cluster, job, lib, _ = make_env(nprocs=4)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield ctx.engine.event(name="never")  # hangs forever
+        elif ctx.rank == 1:
+            raise FlakyWriteError("died early")
+        else:
+            yield ctx.engine.timeout(1.0)
+
+    with pytest.raises(SimulationError) as excinfo:
+        job.run(program)
+    msg = str(excinfo.value)
+    assert "1/4 ranks deadlocked" in msg
+    assert "job.rank0" in msg
+    assert "2 completed, 1 failed" in msg
+
+
+# ---------------------------------------------------------------------------
+# Fault-injector unit checks
+# ---------------------------------------------------------------------------
+
+
+def test_fault_config_validation():
+    with pytest.raises(ValueError):
+        FaultConfig(write_error_rate=1.0)
+    with pytest.raises(ValueError):
+        OutageWindow(start=-1.0, duration=2.0)
+    with pytest.raises(ValueError):
+        FaultConfig(worker_stalls=((0, 0, 0.0),))
+
+
+def test_injector_attach_twice_rejected():
+    eng, cluster, _, _, injector = make_env(
+        fault_config=FaultConfig(seed=0, write_error_rate=0.1))
+    with pytest.raises(RuntimeError, match="already attached"):
+        injector.attach(cluster)
+
+
+def test_reliable_tags_exempt_from_faults():
+    fc = FaultConfig(seed=0, write_error_rate=0.999)
+    injector = FaultInjector(fc)
+    injector.engine = Engine()
+    # the reliable fallback path never draws an error...
+    for _ in range(50):
+        injector.pfs_hook("write", None, None, 1.0, ("fallback-w", 0, "/d"))
+    # ...while a normal op at this rate fails essentially immediately
+    with pytest.raises(FlakyWriteError):
+        for _ in range(50):
+            injector.pfs_hook("write", None, None, 1.0, ("w", 0, "/d"))
