@@ -9,7 +9,8 @@ Commands
     also writes each table to ``DIR/<id>.txt``.
 
 ``list``
-    List available figure ids with one-line descriptions.
+    List available figures, workloads and micro-benchmarks with
+    one-line descriptions.
 
 ``microbench``
     Run the §III-B1 memcpy / GPU-copy micro-benchmarks.
@@ -23,6 +24,13 @@ Commands
 ``profile``
     Run a workload and print a Darshan-style I/O profile (per-rank
     blocked fractions, request-size histogram, per-phase table).
+    ``--stats`` appends the simulator's opt-in EngineStats counters.
+
+``sched``
+    Run a seeded multi-tenant job stream through the scheduler under
+    one or all policies and print the fleet metrics, e.g.::
+
+        python -m repro sched --policy all --jobs 25 --load 2 4
 """
 
 from __future__ import annotations
@@ -38,13 +46,15 @@ from repro.harness.experiment import run_experiment
 
 __all__ = ["main"]
 
+#: Micro-benchmark ids (a subset of the figure makers, listed apart).
+_MICROBENCH_IDS = ["mb-memcpy", "mb-gpu"]
+
 _FIGURE_IDS = [
     "fig3a", "fig3b", "fig3c", "fig3d",
     "fig4a", "fig4b", "fig4c", "fig4d",
     "fig5", "fig6", "fig7", "fig8",
-    "fig-faults",
-    "mb-memcpy", "mb-gpu",
-]
+    "fig-faults", "fig-sched",
+] + _MICROBENCH_IDS
 
 _FIGURE_MAKERS = {
     "fig3a": figures_mod.fig3a,
@@ -60,6 +70,7 @@ _FIGURE_MAKERS = {
     "fig7": figures_mod.fig7,
     "fig8": figures_mod.fig8,
     "fig-faults": figures_mod.fig_faults,
+    "fig-sched": figures_mod.fig_sched,
     "mb-memcpy": figures_mod.microbench_memcpy,
     "mb-gpu": figures_mod.microbench_gpu,
 }
@@ -72,47 +83,73 @@ _MACHINES = {
 }
 
 
-def _workload_entry(name: str):
-    """(program_factory, config_factory, prepopulate, op) per workload."""
+def _workload_table():
+    """name -> (program_factory, config_factory, prepopulate, op, description)."""
     from repro.workloads import (
         BDCATSConfig, CastroConfig, CosmoflowConfig, NyxConfig, SW4Config,
         VPICConfig, bdcats_program, castro_program, cosmoflow_program,
         nyx_program, prepopulate_vpic_file, sw4_program, vpic_program,
     )
 
-    table = {
-        "vpic": (vpic_program, lambda: VPICConfig(steps=3), None, "write"),
+    return {
+        "vpic": (vpic_program, lambda: VPICConfig(steps=3), None, "write",
+                 "VPIC-IO particle dump kernel (weak-scaling writes)"),
         "bdcats": (
             bdcats_program,
             lambda: BDCATSConfig(steps=3),
             lambda cfg: (lambda lib, n: prepopulate_vpic_file(lib, cfg, n)),
             "read",
+            "BD-CATS-IO clustering kernel (reads a VPIC-IO file)",
         ),
         "nyx-small": (nyx_program, lambda: NyxConfig.small(n_plotfiles=3),
-                      None, "write"),
+                      None, "write",
+                      "Nyx cosmology, 256^3 AMR plotfiles every 20 steps"),
         "nyx-large": (nyx_program, lambda: NyxConfig.large(n_plotfiles=3),
-                      None, "write"),
+                      None, "write",
+                      "Nyx cosmology, 2048^3 AMR plotfiles every 50 steps"),
         "castro": (castro_program, lambda: CastroConfig(n_plotfiles=3),
-                   None, "write"),
-        "sw4": (sw4_program, lambda: SW4Config(n_checkpoints=3), None, "write"),
+                   None, "write",
+                   "Castro astrophysics, multifab + particle plotfiles"),
+        "sw4": (sw4_program, lambda: SW4Config(n_checkpoints=3), None,
+                "write",
+                "SW4/EQSIM seismology checkpoints (strong-scaling writes)"),
         "cosmoflow": (
             cosmoflow_program,
             lambda: CosmoflowConfig(epochs=2, batches_per_rank=4),
             lambda cfg: (lambda lib, n: cfg.prepopulate(lib, n)),
             "read",
+            "Cosmoflow training loader (per-rank shard reads)",
         ),
     }
+
+
+def _workload_entry(name: str):
+    """(program_factory, config_factory, prepopulate, op) per workload."""
+    table = _workload_table()
     if name not in table:
         raise SystemExit(
             f"unknown workload {name!r}; choose from {sorted(table)}"
         )
-    return table[name]
+    return table[name][:4]
 
 
 def _cmd_list(_args) -> int:
+    width = 11
+    print("figures:")
     for fid in _FIGURE_IDS:
+        if fid in _MICROBENCH_IDS:
+            continue
         doc = (_FIGURE_MAKERS[fid].__doc__ or "").strip().splitlines()[0]
-        print(f"{fid:10s}  {doc}")
+        print(f"  {fid:{width}s}  {doc}")
+    print()
+    print("workloads (for 'run' and 'profile'):")
+    for name, entry in sorted(_workload_table().items()):
+        print(f"  {name:{width}s}  {entry[4]} [{entry[3]}]")
+    print()
+    print("micro-benchmarks:")
+    for fid in _MICROBENCH_IDS:
+        doc = (_FIGURE_MAKERS[fid].__doc__ or "").strip().splitlines()[0]
+        print(f"  {fid:{width}s}  {doc}")
     return 0
 
 
@@ -145,7 +182,7 @@ def _cmd_microbench(args) -> int:
 
 
 def _run_workload_raw(args):
-    """Shared runner for ``run`` and ``profile``: returns (vol, app_time, op)."""
+    """Shared runner for ``run``/``profile``: (vol, app_time, op, engine)."""
     import math
     from repro.sim import Engine
     from repro.mpi import MPIJob
@@ -167,16 +204,55 @@ def _run_workload_raw(args):
         prepopulate_factory(config)(lib, args.ranks)
     job = MPIJob(cluster, args.ranks)
     results = job.run(program_factory(lib, vol, config))
-    return vol, max(results), op
+    return vol, max(results), op, engine
 
 
 def _cmd_profile(args) -> int:
     from repro.trace import profile_log
 
-    vol, app_time, op = _run_workload_raw(args)
+    vol, app_time, op, engine = _run_workload_raw(args)
     print(f"{args.workload} ({args.mode}) on {args.machine}, "
           f"{args.ranks} ranks")
     print(profile_log(vol.log, app_time).to_text())
+    if getattr(args, "stats", False):
+        print()
+        print("engine stats:")
+        for key, value in engine.stats.snapshot().items():
+            print(f"  {key:20s} {value}")
+    return 0
+
+
+def _cmd_sched(args) -> int:
+    from repro.harness.report import FigureData
+    from repro.harness.sched import run_fleet, sched_testbed
+    from repro.sched import StreamConfig
+
+    machine = (sched_testbed() if args.machine == "sched-testbed"
+               else _MACHINES[args.machine]())
+    policies = (["fifo", "backfill", "io-aware"] if args.policy == "all"
+                else [args.policy])
+    fig = FigureData(
+        name="sched",
+        title=f"{args.jobs} jobs/stream on {machine.name}, seed {args.seed} "
+              f"(loads = mean interarrival s)",
+        columns=["load", "policy", "done", "t/o", "async", "jobs/h",
+                 "wait p95", "compl p50", "compl p95", "compl p99",
+                 "makespan", "PFS util"],
+    )
+    for load in args.load:
+        cfg = StreamConfig(
+            n_jobs=args.jobs, seed=args.seed, mean_interarrival=load,
+            rank_choices=(8, 16, 32), size_scale=args.size_scale,
+        )
+        for policy in policies:
+            m = run_fleet(machine, cfg, policy)
+            fig.add_row(
+                load, policy, m.completed, m.timeouts, m.n_async,
+                m.goodput_jobs_per_hour, m.wait_p95, m.completion_p50,
+                m.completion_p95, m.completion_p99, m.makespan,
+                m.pfs_utilization,
+            )
+    print(fig.to_text())
     return 0
 
 
@@ -213,7 +289,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_list = sub.add_parser("list", help="list available figures")
+    p_list = sub.add_parser(
+        "list", help="list figures, workloads and micro-benchmarks"
+    )
     p_list.set_defaults(func=_cmd_list)
 
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
@@ -245,7 +323,27 @@ def build_parser() -> argparse.ArgumentParser:
                         default="summit")
     p_prof.add_argument("--mode", choices=["sync", "async"], default="sync")
     p_prof.add_argument("--ranks", type=int, default=96)
+    p_prof.add_argument("--stats", action="store_true",
+                        help="also print the simulator's EngineStats counters")
     p_prof.set_defaults(func=_cmd_profile)
+
+    p_sched = sub.add_parser(
+        "sched", help="run a multi-tenant job stream through the scheduler"
+    )
+    p_sched.add_argument("--policy",
+                         choices=["fifo", "backfill", "io-aware", "all"],
+                         default="all")
+    p_sched.add_argument("--machine",
+                         choices=sorted(_MACHINES) + ["sched-testbed"],
+                         default="sched-testbed")
+    p_sched.add_argument("--jobs", type=int, default=25,
+                         help="jobs per stream")
+    p_sched.add_argument("--seed", type=int, default=7)
+    p_sched.add_argument("--load", type=float, nargs="+", default=[2.0, 4.0],
+                         help="mean interarrival gap(s) in seconds")
+    p_sched.add_argument("--size-scale", type=float, default=4.0,
+                         help="job I/O size multiplier")
+    p_sched.set_defaults(func=_cmd_sched)
     return parser
 
 

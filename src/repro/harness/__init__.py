@@ -19,11 +19,13 @@ from repro.harness.sweep import SweepPoint, best_by_config, scale_sweep
 from repro.harness.report import FigureData
 from repro.harness.store import load_results, save_results
 from repro.harness.recovery import RecoveryResult, recovery_sweep, run_recovery
+from repro.harness.sched import FleetMetrics, run_fleet, sched_testbed
 from repro.harness import figures
 
 __all__ = [
     "ExperimentResult",
     "FigureData",
+    "FleetMetrics",
     "RecoveryResult",
     "SweepPoint",
     "best_by_config",
@@ -32,7 +34,9 @@ __all__ = [
     "load_results",
     "recovery_sweep",
     "run_experiment",
+    "run_fleet",
     "run_recovery",
     "save_results",
     "scale_sweep",
+    "sched_testbed",
 ]

@@ -47,7 +47,7 @@ __all__ = [
     "fig3a", "fig3b", "fig3c", "fig3d",
     "fig4a", "fig4b", "fig4c", "fig4d",
     "fig5", "fig6", "fig7", "fig8",
-    "fig_faults",
+    "fig_faults", "fig_sched",
     "microbench_memcpy", "microbench_gpu",
     "resolve_profile",
 ]
@@ -435,6 +435,49 @@ def fig_faults(profile: Optional[str] = None) -> FigureData:
     return fig
 
 
+def fig_sched(profile: Optional[str] = None) -> FigureData:
+    """Fleet tail latency by scheduling policy at two cluster loads.
+
+    Not a paper figure: an extension grounded in Fig. 8's variability
+    result.  A seeded multi-tenant job stream (VPIC / BD-CATS / Nyx /
+    Castro / SW4 / Cosmoflow mix) is co-run on one storage-starved
+    testbed under FIFO, conservative backfill, and the I/O-aware
+    policy that applies the paper's sync-vs-async model at admission
+    time; the table reports per-policy goodput, p50/p95/p99 queue wait
+    and completion time, makespan and PFS utilization at a high and a
+    moderate arrival rate.
+    """
+    from repro.harness.sched import run_fleet, sched_testbed
+    from repro.sched import StreamConfig
+
+    p = resolve_profile(profile)
+    n_jobs = 25 if p == "quick" else 60
+    loads = (2.0, 4.0)
+    machine = sched_testbed()
+    fig = FigureData(
+        name="fig-sched",
+        title=f"multi-tenant scheduling on {machine.name} "
+              f"({n_jobs} jobs/stream, loads = mean interarrival s)",
+        columns=["load", "policy", "done", "async", "jobs/h",
+                 "wait p95", "compl p50", "compl p95", "compl p99",
+                 "makespan", "PFS util"],
+    )
+    for mean_ia in loads:
+        cfg = StreamConfig(
+            n_jobs=n_jobs, seed=7, mean_interarrival=mean_ia,
+            rank_choices=(8, 16, 32), size_scale=4.0,
+        )
+        for policy in ("fifo", "backfill", "io-aware"):
+            m = run_fleet(machine, cfg, policy)
+            fig.add_row(
+                mean_ia, policy, m.completed, m.n_async,
+                m.goodput_jobs_per_hour, m.wait_p95, m.completion_p50,
+                m.completion_p95, m.completion_p99, m.makespan,
+                m.pfs_utilization,
+            )
+    return fig
+
+
 # ---------------------------------------------------------------------------
 # §III-B1 micro-benchmarks
 # ---------------------------------------------------------------------------
@@ -474,6 +517,6 @@ def microbench_gpu(profile: Optional[str] = None) -> FigureData:
 def all_figures(profile: Optional[str] = None) -> dict[str, FigureData]:
     """Regenerate every evaluation figure; keyed by figure id."""
     makers = [fig3a, fig3b, fig3c, fig3d, fig4a, fig4b, fig4c, fig4d,
-              fig5, fig6, fig7, fig8, fig_faults,
+              fig5, fig6, fig7, fig8, fig_faults, fig_sched,
               microbench_memcpy, microbench_gpu]
     return {fig.name: fig for fig in (m(profile) for m in makers)}

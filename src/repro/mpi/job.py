@@ -9,7 +9,7 @@ launches one process per rank.
 from __future__ import annotations
 
 import traceback
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from repro.sim.engine import Process, SimulationError
 from repro.mpi.comm import Communicator, RankContext
@@ -35,7 +35,10 @@ class MPIJob:
     machine's paper-documented density: 6 on Summit, 32 on
     Cori-Haswell).  ``node_offset`` lets several jobs share one cluster
     on disjoint node sets — used to study co-tenant file-system
-    contention mechanistically.
+    contention mechanistically.  ``node_indices`` instead places the
+    job on an explicit (possibly non-contiguous) node list, which is
+    how :class:`repro.sched.Scheduler` packs jobs into a fragmented
+    free set; node ``node_indices[k]`` hosts ranks ``[k*rpn, (k+1)*rpn)``.
     """
 
     def __init__(
@@ -45,6 +48,7 @@ class MPIJob:
         ranks_per_node: Optional[int] = None,
         name: str = "job",
         node_offset: int = 0,
+        node_indices: Optional[Sequence[int]] = None,
     ):
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
@@ -54,17 +58,35 @@ class MPIJob:
         if rpn < 1:
             raise ValueError(f"ranks_per_node must be >= 1, got {rpn}")
         needed_nodes = (nprocs + rpn - 1) // rpn
-        if node_offset + needed_nodes > len(cluster.nodes):
+        if node_indices is not None:
+            # Explicit (possibly non-contiguous) placement, as handed
+            # out by a scheduler working over a fragmented free set.
+            if node_offset != 0:
+                raise ValueError("node_offset and node_indices are exclusive")
+            if len(node_indices) < needed_nodes:
+                raise ValueError(
+                    f"{nprocs} ranks at {rpn}/node need {needed_nodes} nodes, "
+                    f"placement lists {len(node_indices)}"
+                )
+            bad = [i for i in node_indices if not 0 <= i < len(cluster.nodes)]
+            if bad:
+                raise ValueError(f"node indices out of range: {bad}")
+            nodes = [cluster.nodes[i] for i in node_indices]
+        elif node_offset + needed_nodes > len(cluster.nodes):
             raise ValueError(
                 f"{nprocs} ranks at {rpn}/node need {needed_nodes} nodes "
                 f"from offset {node_offset}, allocation has "
                 f"{len(cluster.nodes)}"
             )
+        else:
+            nodes = cluster.nodes[node_offset:node_offset + needed_nodes]
         self.cluster = cluster
         self.nprocs = nprocs
         self.ranks_per_node = rpn
         self.name = name
         self.node_offset = node_offset
+        self.node_indices = (tuple(node_indices)
+                             if node_indices is not None else None)
         self.comm = Communicator(
             cluster.engine,
             nprocs,
@@ -75,7 +97,7 @@ class MPIJob:
             RankContext(
                 rank,
                 self.comm,
-                cluster.nodes[node_offset + rank // rpn],
+                nodes[rank // rpn],
                 cluster,
             )
             for rank in range(nprocs)

@@ -10,7 +10,11 @@ models and a contention process.
 """
 
 from repro.platform.cluster import Cluster, Node
-from repro.platform.contention import ContentionModel, ContentionProcess
+from repro.platform.contention import (
+    ContentionModel,
+    ContentionProcess,
+    ContentionTimeline,
+)
 from repro.platform.machines import (
     cori_haswell,
     exascale_testbed,
@@ -41,6 +45,7 @@ __all__ = [
     "Cluster",
     "ContentionModel",
     "ContentionProcess",
+    "ContentionTimeline",
     "FileSystemSpec",
     "FileTarget",
     "GPFSModel",

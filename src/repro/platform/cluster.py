@@ -104,6 +104,67 @@ class Cluster:
                 engine, self.network, machine.burst_buffer_bandwidth,
                 name=f"{machine.name}.bb",
             )
+        #: Free-node ledger for multi-tenant scheduling.  Single-job
+        #: runs never touch it: :class:`~repro.mpi.job.MPIJob` places
+        #: ranks directly, so this stays a no-cost bookkeeping surface
+        #: unless a :class:`repro.sched.Scheduler` allocates through it.
+        self._free_nodes: list[int] = list(range(nodes))
+        self._allocated: dict[int, tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Node accounting (multi-tenant scheduling)
+    # ------------------------------------------------------------------
+    @property
+    def free_node_count(self) -> int:
+        """Nodes not currently allocated to any tenant."""
+        return len(self._free_nodes)
+
+    @property
+    def busy_node_count(self) -> int:
+        """Nodes currently allocated to tenants."""
+        return len(self.nodes) - len(self._free_nodes)
+
+    def free_node_indices(self) -> tuple[int, ...]:
+        """Sorted indices of the currently free nodes."""
+        return tuple(self._free_nodes)
+
+    def allocate_nodes(self, count: int, owner: Optional[int] = None
+                       ) -> tuple[int, ...]:
+        """Claim ``count`` free nodes (lowest indices first).
+
+        Returns the claimed node indices; raises :class:`ValueError`
+        when fewer than ``count`` nodes are free.  ``owner`` (a job id)
+        is recorded so :meth:`release_owner` can free a tenant's nodes
+        without the caller re-threading the index list.
+        """
+        if count < 1:
+            raise ValueError(f"must allocate >= 1 node, got {count}")
+        if count > len(self._free_nodes):
+            raise ValueError(
+                f"cannot allocate {count} nodes: only "
+                f"{len(self._free_nodes)} of {len(self.nodes)} free"
+            )
+        taken = tuple(self._free_nodes[:count])
+        del self._free_nodes[:count]
+        if owner is not None:
+            self._allocated[owner] = taken
+        return taken
+
+    def release_nodes(self, indices) -> None:
+        """Return ``indices`` to the free set (keeps the set sorted)."""
+        freeing = set(indices)
+        if freeing & set(self._free_nodes):
+            raise ValueError(f"double release of nodes {sorted(freeing)}")
+        bad = [i for i in freeing if not 0 <= i < len(self.nodes)]
+        if bad:
+            raise ValueError(f"node indices out of range: {bad}")
+        self._free_nodes = sorted(set(self._free_nodes) | freeing)
+
+    def release_owner(self, owner: int) -> None:
+        """Release every node held by ``owner`` (no-op if none)."""
+        taken = self._allocated.pop(owner, None)
+        if taken:
+            self.release_nodes(taken)
 
     # ------------------------------------------------------------------
     # Data movement primitives

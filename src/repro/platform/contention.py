@@ -24,7 +24,7 @@ import numpy as np
 from repro.sim.engine import Engine
 from repro.platform.storage import ParallelFileSystem
 
-__all__ = ["ContentionModel", "ContentionProcess"]
+__all__ = ["ContentionModel", "ContentionProcess", "ContentionTimeline"]
 
 
 class ContentionModel:
@@ -141,3 +141,105 @@ class ContentionProcess:
             if self.faults is not None:
                 self.faults.note("contention", day=self.day,
                                  availability=round(factor, 12))
+
+
+class ContentionTimeline:
+    """Shared-PFS contention driven by the *live job set* of a scheduler.
+
+    The single-job figures sample one availability factor per run (the
+    paper's "day"); a scheduled fleet instead produces its PFS pressure
+    mechanistically — co-running jobs share the backend link on one
+    :class:`~repro.sim.network.Network`.  This timeline ties the two
+    together and gives the harness a chronology to report on:
+
+    - it records every job start/finish with the live tenant count and
+      busy-node total at that instant (the ``fig-sched`` utilization
+      series derives from these samples), and
+    - optionally composes an *external* availability factor on top of
+      the fleet's own traffic: with ``model`` set, availability is
+      ``base_day_factor / (1 + external_per_job * live_jobs)`` —
+      tenants outside the simulated fleet reacting to it.  With no
+      model (the default) the PFS stays at nominal capacity and all
+      contention is the fleet's own, keeping single-job runs
+      byte-identical.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        fs: Optional[ParallelFileSystem] = None,
+        model: Optional[ContentionModel] = None,
+        day: int = 0,
+        external_per_job: float = 0.0,
+    ):
+        if external_per_job < 0:
+            raise ValueError("external_per_job must be non-negative")
+        self.engine = engine
+        self.fs = fs
+        self.model = model
+        self.day = day
+        self.external_per_job = external_per_job
+        self.base_factor = model.availability(day) if model is not None else 1.0
+        #: Chronological (time, event, job_id, live_jobs, busy_nodes,
+        #: availability) samples; ``event`` is 'start' or 'finish'.
+        self.events: list[tuple[float, str, int, int, int, float]] = []
+        self._live: dict[int, int] = {}  # job_id -> nodes held
+        if self.fs is not None and self.model is not None:
+            self.fs.set_availability(self.base_factor)
+
+    @property
+    def live_jobs(self) -> int:
+        """Number of jobs currently running on the cluster."""
+        return len(self._live)
+
+    @property
+    def busy_nodes(self) -> int:
+        """Nodes held by currently running jobs."""
+        return sum(self._live.values())
+
+    def availability(self) -> float:
+        """Current external availability factor for the live job set."""
+        if self.model is None:
+            return 1.0
+        return max(
+            self.model.floor,
+            self.base_factor / (1.0 + self.external_per_job * self.live_jobs),
+        )
+
+    def job_started(self, job_id: int, nodes: int) -> None:
+        """Record a job entering the cluster (and retune the PFS)."""
+        if job_id in self._live:
+            raise ValueError(f"job {job_id} started twice")
+        self._live[job_id] = nodes
+        self._note("start", job_id)
+
+    def job_finished(self, job_id: int) -> None:
+        """Record a job leaving the cluster (and retune the PFS)."""
+        if job_id not in self._live:
+            raise ValueError(f"job {job_id} finished without starting")
+        del self._live[job_id]
+        self._note("finish", job_id)
+
+    def _note(self, event: str, job_id: int) -> None:
+        factor = self.availability()
+        if self.fs is not None and self.model is not None:
+            self.fs.set_availability(factor)
+        self.events.append((
+            self.engine.now, event, job_id, self.live_jobs, self.busy_nodes,
+            factor,
+        ))
+
+    def peak_live_jobs(self) -> int:
+        """Highest number of concurrently running jobs observed."""
+        return max((e[3] for e in self.events), default=0)
+
+    def busy_node_seconds(self) -> float:
+        """Integral of busy nodes over time (node-seconds of residency)."""
+        total = 0.0
+        last_t: Optional[float] = None
+        last_busy = 0
+        for t, _event, _job, _live, busy, _a in self.events:
+            if last_t is not None:
+                total += last_busy * (t - last_t)
+            last_t, last_busy = t, busy
+        return total

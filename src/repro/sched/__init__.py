@@ -1,0 +1,60 @@
+"""Multi-tenant job scheduler and cluster service layer.
+
+The single-job harness answers the paper's questions one application at
+a time; this package asks the *facility* question: on a shared machine
+where many tenants' jobs arrive over time and contend for the same
+parallel file system, what does scheduling policy — and the paper's
+sync-vs-async model applied at admission time — do to fleet-level
+goodput and tail latency?
+
+Components:
+
+- :mod:`repro.sched.job` — :class:`JobSpec` submissions and
+  :class:`JobRecord` ledger entries;
+- :mod:`repro.sched.stream` — seeded workload mixes with stochastic
+  arrivals (:class:`JobStream`);
+- :mod:`repro.sched.policies` — pluggable planners: FIFO, conservative
+  (EASY) backfill, and the I/O-aware policy that consults the paper's
+  model;
+- :mod:`repro.sched.service` — :class:`AdvisorService`, per-tenant
+  measurement histories behind admission-time decisions;
+- :mod:`repro.sched.scheduler` — the :class:`Scheduler` that co-runs
+  admitted jobs on one shared cluster with mechanistic PFS contention.
+"""
+
+from repro.sched.job import JobKilled, JobRecord, JobSpec, JobState
+from repro.sched.policies import (
+    BackfillPolicy,
+    FIFOPolicy,
+    IOAwarePolicy,
+    Placement,
+    SchedulingPolicy,
+    make_policy,
+)
+from repro.sched.scheduler import Scheduler
+from repro.sched.service import AdvisorService
+from repro.sched.stream import (
+    JobStream,
+    StreamConfig,
+    WORKLOAD_NAMES,
+    make_job,
+)
+
+__all__ = [
+    "AdvisorService",
+    "BackfillPolicy",
+    "FIFOPolicy",
+    "IOAwarePolicy",
+    "JobKilled",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "JobStream",
+    "Placement",
+    "Scheduler",
+    "SchedulingPolicy",
+    "StreamConfig",
+    "WORKLOAD_NAMES",
+    "make_job",
+    "make_policy",
+]

@@ -1,0 +1,289 @@
+"""Pluggable scheduling policies: FIFO, conservative backfill, I/O-aware.
+
+A policy is a pure planner: given the clock, the pending queue, the
+free-node count and the running set, it returns :class:`Placement`
+directives (which jobs to start now, on how many nodes, in which I/O
+mode, after what stagger delay).  The :class:`~repro.sched.scheduler.
+Scheduler` owns all mutation — node allocation, process launch, state
+transitions — so policies stay deterministic and unit-testable.
+
+``FIFOPolicy`` is strict arrival order with head-of-line blocking.
+``BackfillPolicy`` adds EASY-style conservative backfill: the queue
+head gets a shadow-time reservation computed from the running jobs'
+declared walltimes, and later jobs may jump ahead only if they cannot
+delay it.  ``IOAwarePolicy`` extends backfill with the paper's model:
+an :class:`~repro.sched.service.AdvisorService` resolves each
+``mode='auto'`` submission to sync or async at admission time
+(Eq. 2a vs 2b on declared shape), and the *sync* jobs' first I/O
+phases are staggered so co-located bursts don't collide on the shared
+PFS — asynchronous tenants need no stagger, which is exactly the
+variability shield of Fig. 8.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sched.job import JobRecord
+from repro.sched.service import AdvisorService
+
+__all__ = [
+    "BackfillPolicy",
+    "FIFOPolicy",
+    "IOAwarePolicy",
+    "Placement",
+    "SchedulingPolicy",
+    "make_policy",
+]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One start directive: run ``record`` now (plus ``start_delay``)."""
+
+    record: JobRecord
+    nnodes: int
+    mode: str  # resolved 'sync' | 'async'
+    start_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nnodes < 1:
+            raise ValueError("placement needs at least one node")
+        if self.mode not in ("sync", "async"):
+            raise ValueError(f"unresolved mode {self.mode!r}")
+        if self.start_delay < 0:
+            raise ValueError("start_delay must be non-negative")
+
+
+class SchedulingPolicy:
+    """Interface: plan which pending jobs start at this instant."""
+
+    #: Identifier used by the CLI / benchmarks.
+    name = "abstract"
+
+    def __init__(self, default_ranks_per_node: int):
+        if default_ranks_per_node < 1:
+            raise ValueError("default_ranks_per_node must be >= 1")
+        self.rpn = default_ranks_per_node
+
+    def resolve_mode(self, record: JobRecord, now: float) -> str:
+        """Resolve a submission's I/O mode ('auto' → paper's sync default)."""
+        mode = record.spec.mode
+        return "sync" if mode == "auto" else mode
+
+    def plan(self, now: float, pending: list[JobRecord], free_nodes: int,
+             running: list[JobRecord]) -> list[Placement]:
+        """Placements to start now.  ``pending`` is in arrival order."""
+        raise NotImplementedError
+
+    def _nnodes(self, record: JobRecord) -> int:
+        return record.spec.nnodes(self.rpn)
+
+
+class FIFOPolicy(SchedulingPolicy):
+    """Strict arrival order; the queue head blocks everyone behind it."""
+
+    name = "fifo"
+
+    def plan(self, now: float, pending: list[JobRecord], free_nodes: int,
+             running: list[JobRecord]) -> list[Placement]:
+        placements: list[Placement] = []
+        for record in pending:
+            need = self._nnodes(record)
+            if need > free_nodes:
+                break  # head-of-line blocking
+            free_nodes -= need
+            placements.append(
+                Placement(record, need, self.resolve_mode(record, now))
+            )
+        return placements
+
+
+class BackfillPolicy(SchedulingPolicy):
+    """EASY-style conservative backfill on declared walltimes.
+
+    When the head does not fit, it gets a reservation at the *shadow
+    time* — the earliest instant the running jobs' declared walltimes
+    free enough nodes.  A later job may start now only if it fits in
+    the currently free nodes **and** either (a) its own walltime ends
+    before the shadow time, or (b) it uses no more than the *extra*
+    nodes (nodes free at the shadow time beyond the head's need), so
+    the reservation is provably undisturbed.
+    """
+
+    name = "backfill"
+
+    def plan(self, now: float, pending: list[JobRecord], free_nodes: int,
+             running: list[JobRecord]) -> list[Placement]:
+        placements: list[Placement] = []
+        queue = list(pending)
+        # Greedily start in order until the head no longer fits.
+        while queue:
+            need = self._nnodes(queue[0])
+            if need > free_nodes:
+                break
+            record = queue.pop(0)
+            free_nodes -= need
+            placements.append(
+                Placement(record, need, self.resolve_mode(record, now))
+            )
+        if not queue:
+            return placements
+        head_need = self._nnodes(queue[0])
+        shadow_time, extra = self._reservation(
+            now, head_need, free_nodes, running,
+            [(p.record, p.nnodes) for p in placements],
+        )
+        for record in queue[1:]:
+            need = self._nnodes(record)
+            if need > free_nodes:
+                continue
+            ends_in_time = now + record.spec.walltime <= shadow_time
+            if not ends_in_time and need > extra:
+                continue
+            free_nodes -= need
+            if not ends_in_time:
+                extra -= need
+            placements.append(
+                Placement(record, need, self.resolve_mode(record, now))
+            )
+        return placements
+
+    def _reservation(
+        self,
+        now: float,
+        head_need: int,
+        free_nodes: int,
+        running: list[JobRecord],
+        just_placed: list[tuple[JobRecord, int]],
+    ) -> tuple[float, int]:
+        """(shadow time, extra nodes) for the queue head's reservation.
+
+        Walks running jobs (plus this round's placements) in predicted
+        completion order, accumulating released nodes until the head
+        fits.  Jobs with unbounded walltime never release — if the head
+        depends on them the shadow time is ``inf`` and only
+        finishes-before-shadow backfill is possible (with no spare
+        nodes handed out, because the reservation can never be met).
+        """
+        releases = sorted(
+            (rec.start_time + rec.spec.walltime
+             if not math.isnan(rec.start_time) else now + rec.spec.walltime,
+             nodes)
+            for rec, nodes in (
+                [(r, len(r.nodes)) for r in running] + just_placed
+            )
+        )
+        available = free_nodes
+        for when, nodes in releases:
+            if available >= head_need:
+                break
+            available += nodes
+            if available >= head_need:
+                return max(when, now), available - head_need
+        if available >= head_need:
+            return now, available - head_need
+        return math.inf, 0
+
+
+class IOAwarePolicy(BackfillPolicy):
+    """Backfill + the paper's model at admission time.
+
+    Two levers on top of :class:`BackfillPolicy`:
+
+    1. **Mode resolution** — ``mode='auto'`` jobs are decided by the
+       advisor service (per-tenant histories, Eq. 2a vs 2b on the
+       declared I/O shape) instead of defaulting to sync.
+    2. **Sync-burst staggering** — each *sync* placement reserves its
+       first I/O phase window ``[start + t_comp, + t_io_est]`` on a
+       shared burst ledger; a new sync job whose window would overlap
+       an existing one is started with a small ``start_delay`` (capped
+       at ``max_stagger``) that slides its burst into the first gap.
+       Async placements skip the ledger: their drains overlap
+       computation by construction.
+    """
+
+    name = "io-aware"
+
+    def __init__(self, default_ranks_per_node: int, service: AdvisorService,
+                 max_stagger: float = 10.0):
+        super().__init__(default_ranks_per_node)
+        if max_stagger < 0:
+            raise ValueError("max_stagger must be non-negative")
+        self.service = service
+        self.max_stagger = max_stagger
+        #: Reserved sync I/O burst windows [(t_start, t_end), ...].
+        self._bursts: list[tuple[float, float]] = []
+
+    def resolve_mode(self, record: JobRecord, now: float) -> str:
+        spec = record.spec
+        if spec.mode != "auto":
+            return spec.mode
+        if spec.phase_bytes <= 0:
+            return "sync"
+        decision = self.service.decide(
+            tenant=spec.tenant,
+            phase_bytes=spec.phase_bytes,
+            nranks=spec.nranks,
+            compute_seconds=spec.compute_phase_seconds,
+        )
+        record.decision = decision
+        return decision.mode.value
+
+    def plan(self, now: float, pending: list[JobRecord], free_nodes: int,
+             running: list[JobRecord]) -> list[Placement]:
+        self._bursts = [(s, e) for s, e in self._bursts if e > now]
+        placements = super().plan(now, pending, free_nodes, running)
+        staggered: list[Placement] = []
+        for placement in placements:
+            delay = 0.0
+            spec = placement.record.spec
+            if placement.mode == "sync" and spec.phase_bytes > 0:
+                t_io = self.service.estimate_sync_io_time(
+                    spec.tenant, spec.phase_bytes, spec.nranks
+                )
+                delay = self._stagger_delay(
+                    now + spec.compute_phase_seconds, t_io
+                )
+                self._bursts.append((
+                    now + delay + spec.compute_phase_seconds,
+                    now + delay + spec.compute_phase_seconds + t_io,
+                ))
+                self._bursts.sort()
+            staggered.append(Placement(
+                placement.record, placement.nnodes, placement.mode,
+                start_delay=delay,
+            ))
+        return staggered
+
+    def _stagger_delay(self, burst_start: float, duration: float) -> float:
+        """Smallest delay <= max_stagger whose burst window is collision-free."""
+        candidates = [0.0] + sorted(
+            end - burst_start for _s, end in self._bursts
+            if 0.0 < end - burst_start <= self.max_stagger
+        )
+        for delay in candidates:
+            window = (burst_start + delay, burst_start + delay + duration)
+            if not any(s < window[1] and window[0] < e
+                       for s, e in self._bursts):
+                return delay
+        return 0.0
+
+
+def make_policy(name: str, default_ranks_per_node: int,
+                service: Optional[AdvisorService] = None,
+                **kwargs) -> SchedulingPolicy:
+    """Policy factory for the CLI and benchmarks."""
+    if name == "fifo":
+        return FIFOPolicy(default_ranks_per_node)
+    if name == "backfill":
+        return BackfillPolicy(default_ranks_per_node)
+    if name == "io-aware":
+        if service is None:
+            raise ValueError("io-aware policy requires an AdvisorService")
+        return IOAwarePolicy(default_ranks_per_node, service, **kwargs)
+    raise ValueError(
+        f"unknown policy {name!r} (expected fifo | backfill | io-aware)"
+    )

@@ -1,0 +1,225 @@
+"""The scheduler: admission, placement, launch, deadline, teardown.
+
+One :class:`Scheduler` owns one shared :class:`~repro.platform.cluster.
+Cluster` and co-runs every admitted job inside one simulation: all
+tenants' flows share the cluster's fluid :class:`~repro.sim.network.
+Network`, so the shared-PFS interference between co-located jobs is
+*mechanistic* — the same max-min water-filling that produces every
+figure — rather than a statistical availability factor.
+
+The scheduler is an event-driven loop: submissions and job completions
+kick it, each kick asks the policy for placements against the live
+free-node ledger, and each placement spawns a *runner* process that
+holds the job's nodes for its lifetime:
+
+1. sleep out the policy's stagger delay (nodes already held),
+2. build the job's private VOL (own :class:`~repro.trace.IOLog` — the
+   per-tenant attribution surface), prepopulate its input files,
+3. launch one rank coroutine per rank via :class:`~repro.mpi.job.MPIJob`
+   on the exact node indices the ledger granted,
+4. guard the join with :meth:`~repro.sim.engine.Engine.timeout_guard`
+   at the declared walltime and :meth:`~repro.sim.engine.Process.
+   interrupt` every surviving rank on expiry (the batch-system
+   ``scancel``),
+5. tear down: release nodes, close out the contention timeline, record
+   ``queued``/``run`` spans (with the job's EngineStats delta in the
+   span meta), feed the advisor service, kick the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.sim import AllOf, DeadlineExceeded, Engine, SimEvent
+from repro.mpi import MPIJob
+from repro.platform import Cluster, ContentionTimeline
+from repro.hdf5 import H5Library
+from repro.trace import IOLog, SpanLog
+from repro.sched.job import JobKilled, JobRecord, JobSpec, JobState
+from repro.sched.policies import Placement, SchedulingPolicy
+from repro.sched.service import AdvisorService
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Multi-tenant job scheduler over one shared cluster."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: Cluster,
+        policy: SchedulingPolicy,
+        service: Optional[AdvisorService] = None,
+        timeline: Optional[ContentionTimeline] = None,
+        lib: Optional[H5Library] = None,
+    ):
+        self.engine = engine
+        self.cluster = cluster
+        self.policy = policy
+        #: Advisor service fed by completed jobs (also used by the
+        #: I/O-aware policy at admission; harmless but live for others).
+        self.service = service
+        self.timeline = timeline or ContentionTimeline(engine, cluster.pfs)
+        self.lib = lib or H5Library(cluster)
+        self.spans = SpanLog()
+        #: Every submission ever seen, in submit order.
+        self.records: list[JobRecord] = []
+        self._pending: list[JobRecord] = []
+        self._running: list[JobRecord] = []
+        self._next_id = 0
+        self._wake: Optional[SimEvent] = None
+        engine.process(self._loop(), name="sched.loop")
+
+    # -- submission -------------------------------------------------------
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Admit one job (or reject it if it can never fit)."""
+        record = JobRecord(spec, self._next_id, self.engine.now)
+        self._next_id += 1
+        self.records.append(record)
+        need = spec.nnodes(self.policy.rpn)
+        if need > len(self.cluster.nodes):
+            record.state = JobState.REJECTED
+            record.reject_reason = (
+                f"needs {need} nodes, machine has {len(self.cluster.nodes)}"
+            )
+            return record
+        self._pending.append(record)
+        self._kick()
+        return record
+
+    def run_stream(self, arrivals: Iterable[tuple[float, JobSpec]]
+                   ) -> list[JobRecord]:
+        """Feed timed submissions and drive the simulation to drain.
+
+        ``arrivals`` is an iterable of ``(arrival_time, spec)`` in
+        non-decreasing time order (e.g. from
+        :meth:`repro.sched.stream.JobStream.arrivals`).  Returns every
+        :class:`JobRecord` in submission order once the fleet finishes.
+        """
+        arrivals = list(arrivals)
+
+        def feeder():
+            for when, spec in arrivals:
+                gap = when - self.engine.now
+                if gap > 0:
+                    yield self.engine.timeout(gap)
+                self.submit(spec)
+
+        self.engine.process(feeder(), name="sched.feeder")
+        self.engine.run()
+        still_open = [r for r in self.records if not r.finished]
+        if still_open:
+            raise RuntimeError(
+                f"simulation drained with {len(still_open)} unfinished "
+                f"jobs: {[r.job_id for r in still_open]}"
+            )
+        return self.records
+
+    # -- event loop -------------------------------------------------------
+    def _kick(self) -> None:
+        """Wake the scheduling loop (idempotent within a timestamp)."""
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+
+    def _loop(self):
+        while True:
+            self._try_start()
+            self._wake = SimEvent(self.engine, name="sched.wake")
+            yield self._wake
+
+    def _try_start(self) -> None:
+        """Ask the policy for placements and start each one *now*.
+
+        Node allocation happens here, synchronously with the plan, so a
+        staggered job holds its nodes through the delay (batch systems
+        start the allocation when the job script starts) and the next
+        plan sees a truthful free count.
+        """
+        if not self._pending:
+            return
+        plan = self.policy.plan(
+            self.engine.now, list(self._pending),
+            self.cluster.free_node_count, list(self._running),
+        )
+        for placement in plan:
+            record = placement.record
+            self._pending.remove(record)
+            indices = self.cluster.allocate_nodes(
+                placement.nnodes, owner=record.job_id
+            )
+            record.nodes = indices
+            record.mode = placement.mode
+            record.state = JobState.RUNNING
+            self._running.append(record)
+            self.engine.process(
+                self._job_runner(record, placement, indices),
+                name=f"sched.job{record.job_id}",
+            )
+
+    # -- per-job runner ---------------------------------------------------
+    def _job_runner(self, record: JobRecord, placement: Placement,
+                    indices: tuple[int, ...]):
+        # Imported here, not at module level: repro.harness imports
+        # repro.sched (fleet runner), so the reverse edge must be lazy.
+        from repro.harness.experiment import build_vol
+
+        engine = self.engine
+        spec = record.spec
+        if placement.start_delay > 0.0:
+            yield engine.timeout(placement.start_delay)
+        record.start_time = engine.now
+        self.spans.record(record.job_id, "queued",
+                          record.submit_time, engine.now)
+        self.timeline.job_started(record.job_id, len(indices))
+        stats_before = engine.stats.snapshot()
+
+        log = IOLog()
+        record.log = log
+        vol = build_vol(placement.mode, log=log, **spec.vol_kwargs)
+        if spec.prepopulate is not None:
+            spec.prepopulate(self.lib, spec.nranks)
+        job = MPIJob(
+            self.cluster, spec.nranks,
+            ranks_per_node=spec.ranks_per_node or self.policy.rpn,
+            name=f"job{record.job_id}", node_indices=indices,
+        )
+        procs = job.launch(spec.program_factory(self.lib, vol, spec.config))
+        try:
+            yield engine.timeout_guard(
+                AllOf([p.done for p in procs]), spec.walltime
+            )
+            record.state = JobState.COMPLETED
+        except DeadlineExceeded:
+            # The batch system's scancel: kill every surviving rank.
+            kill = JobKilled(record.job_id)
+            for proc in procs:
+                if proc.alive:
+                    proc.interrupt(kill)
+            record.state = JobState.TIMEOUT
+        except Exception:
+            # One rank died on its own: reap the siblings blocked on
+            # collectives with it, as mpiexec would.
+            kill = JobKilled(record.job_id, reason="sibling rank failed")
+            for proc in procs:
+                if proc.alive:
+                    proc.interrupt(kill)
+            record.state = JobState.FAILED
+        finally:
+            record.finish_time = engine.now
+            self.timeline.job_finished(record.job_id)
+            self.cluster.release_owner(record.job_id)
+            self._running.remove(record)
+            stats_after = engine.stats.snapshot()
+            record.stats_delta = {
+                key: stats_after[key] - stats_before[key]
+                for key in stats_after
+            }
+            self.spans.record(
+                record.job_id, "run", record.start_time, engine.now,
+                mode=record.mode, state=record.state.value,
+                **record.stats_delta,
+            )
+            if self.service is not None and record.state is JobState.COMPLETED:
+                self.service.observe(record)
+            self._kick()

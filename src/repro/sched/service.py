@@ -1,0 +1,203 @@
+"""Admission-time advisory service: the paper's model as a shared daemon.
+
+The single-job harness embeds one :class:`~repro.model.advisor.Advisor`
+inside one application (Fig. 2's loop).  A multi-tenant cluster turns
+that loop into a *service*: the scheduler consults it at admission time
+to resolve ``mode='auto'`` submissions, and feeds it the measured I/O
+rates of every job that completes — so each tenant accumulates its own
+:class:`~repro.model.history.MeasurementHistory` across submissions,
+exactly the "history of I/O requests by an application" of §III-B2,
+kept per tenant because different applications stress the file system
+differently.
+
+Cold-start: a fresh tenant has no history, and an advisor without data
+falls back to sync for everyone, which would make the I/O-aware policy
+a no-op on short streams.  The service therefore bootstraps each
+tenant's history with a handful of *analytic prior* samples derived
+from the machine specification (client-efficiency-scaled share of the
+PFS peak, capped by NIC injection) — the same numbers an operator
+would seed from acceptance benchmarks.  Online measurements then
+refine the prior as jobs finish.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.model.advisor import Advisor, Decision
+from repro.model.estimators import (
+    ComputeTimeModel,
+    IORateModel,
+    TransactOverheadModel,
+)
+from repro.model.history import MeasurementHistory
+from repro.platform.spec import MachineSpec
+
+__all__ = ["AdvisorService"]
+
+
+class AdvisorService:
+    """Per-tenant advisors over per-tenant measurement histories."""
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        margin: float = 0.0,
+        min_r2: float = 0.0,
+        prior_weight: int = 4,
+        history_cap: int = 512,
+    ):
+        if prior_weight < 0:
+            raise ValueError("prior_weight must be non-negative")
+        self.spec = spec
+        self.margin = margin
+        self.min_r2 = min_r2
+        #: How many analytic prior samples seed a new tenant's history
+        #: per (nranks, bytes) probe point; 0 disables the bootstrap.
+        self.prior_weight = prior_weight
+        self.history_cap = history_cap
+        self._advisors: dict[str, Advisor] = {}
+        self._histories: dict[str, MeasurementHistory] = {}
+        #: (tenant, Decision) pairs in consultation order.
+        self.consultations: list[tuple[str, Decision]] = []
+        self._transact = TransactOverheadModel.from_memcpy_spec(
+            spec.node.memcpy
+        )
+
+    # -- analytic prior ---------------------------------------------------
+    def predicted_sync_rate(self, data_size: float, nranks: int,
+                            ranks_per_node: Optional[int] = None) -> float:
+        """First-principles aggregate sync rate for one I/O phase.
+
+        Client efficiency follows the file-system spec's saturating
+        ``s / (s + s0)`` law on the per-rank request size; the result is
+        capped by the job's aggregate NIC injection bandwidth and the
+        PFS peak.  This is deliberately the *spec's* view — coarse, but
+        monotone in the same variables as the simulated Eq. 4 surface,
+        which is all a regression prior needs.
+        """
+        fs = self.spec.filesystem
+        rpn = ranks_per_node or self.spec.default_ranks_per_node
+        nnodes = max(1, math.ceil(nranks / rpn))
+        per_rank = data_size / nranks
+        efficiency = per_rank / (per_rank + fs.efficiency_s0)
+        share = fs.peak_bandwidth * efficiency * min(
+            1.0, nranks / (nranks + 4.0)
+        )
+        nic_cap = nnodes * self.spec.node.nic_bandwidth
+        return max(1.0, min(share, nic_cap, fs.peak_bandwidth))
+
+    def _bootstrap(self, history: MeasurementHistory, op: str) -> None:
+        """Seed ``history`` with analytic sync samples around the spec.
+
+        Probe points span the machine's plausible envelope (rank counts
+        up to the full machine, per-rank sizes from 1 MiB to 1 GiB) so
+        the first regression fit is well-conditioned; ``prior_weight``
+        repeats each point to control how fast live data outvotes it.
+        """
+        if self.prior_weight == 0:
+            return
+        max_ranks = max(2, self.spec.max_ranks())
+        rank_probes = sorted({
+            max(1, int(round(max_ranks * f))) for f in (0.125, 0.25, 0.5, 1.0)
+        })
+        size_probes = [float(1 << s) for s in (20, 24, 27, 30)]  # 1MiB..1GiB
+        for nranks in rank_probes:
+            for per_rank in size_probes:
+                data_size = per_rank * nranks
+                rate = self.predicted_sync_rate(data_size, nranks)
+                for _ in range(self.prior_weight):
+                    history.record(data_size=data_size, nranks=nranks,
+                                   io_rate=rate, mode="sync", op=op)
+
+    # -- tenant state -----------------------------------------------------
+    def history_for(self, tenant: str) -> MeasurementHistory:
+        """The tenant's measurement history (bootstrapped on first use)."""
+        if tenant not in self._histories:
+            history = MeasurementHistory(max_samples=self.history_cap)
+            self._bootstrap(history, op="write")
+            self._histories[tenant] = history
+        return self._histories[tenant]
+
+    def advisor_for(self, tenant: str) -> Advisor:
+        """The tenant's advisor (created on first use)."""
+        if tenant not in self._advisors:
+            history = self.history_for(tenant)
+            self._advisors[tenant] = Advisor(
+                compute_model=ComputeTimeModel(),
+                io_rate_model=IORateModel(history, mode="sync"),
+                transact_model=self._transact,
+                margin=self.margin,
+                min_r2=self.min_r2,
+            )
+        return self._advisors[tenant]
+
+    def tenants(self) -> list[str]:
+        """Tenants the service has seen, sorted."""
+        return sorted(self._histories)
+
+    # -- scheduler-facing API --------------------------------------------
+    def decide(self, tenant: str, phase_bytes: float, nranks: int,
+               compute_seconds: float) -> Decision:
+        """Admission-time sync-vs-async decision for one job.
+
+        ``compute_seconds`` is the job's *declared* computation phase —
+        fed to the compute model as an observation so Eq. 2a/2b compare
+        this job's own overlap budget, not a previous tenant's.
+        """
+        advisor = self.advisor_for(tenant)
+        advisor.compute_model.observe(max(0.0, compute_seconds))
+        decision = advisor.decide(
+            data_size=phase_bytes, nranks=nranks,
+            per_rank_bytes=phase_bytes / max(1, nranks),
+        )
+        self.consultations.append((tenant, decision))
+        return decision
+
+    def estimate_sync_io_time(self, tenant: str, phase_bytes: float,
+                              nranks: int) -> float:
+        """Predicted seconds one sync I/O phase will occupy the PFS.
+
+        Used by the I/O-aware policy to stagger co-located sync bursts;
+        falls back to the analytic prior when the tenant's rate model
+        cannot fit yet.
+        """
+        advisor = self.advisor_for(tenant)
+        if advisor.io_rate_model.ready:
+            try:
+                advisor.io_rate_model.refit()
+                return advisor.io_rate_model.estimate_time(phase_bytes, nranks)
+            except RuntimeError:
+                pass
+        return phase_bytes / self.predicted_sync_rate(phase_bytes, nranks)
+
+    def observe(self, record) -> int:
+        """Fold a finished job's measured rates into its tenant's history.
+
+        ``record`` is a :class:`~repro.sched.job.JobRecord`.  Only
+        clean, synchronous operations are eligible: async records
+        measure the overlapped drain, faulted records measure the
+        fault (the same exclusion
+        :class:`~repro.model.advisor.AdaptiveVOL` applies in-loop).
+        Returns the number of samples absorbed.
+        """
+        if record.log is None:
+            return 0
+        history = self.history_for(record.spec.tenant)
+        absorbed = 0
+        for op in record.log.records:
+            if op.mode != "sync" or getattr(op, "faulted", False):
+                continue
+            rate = op.observed_rate
+            if not np.isfinite(rate) or rate <= 0:
+                continue
+            nranks = record.spec.nranks
+            history.record(
+                data_size=op.nbytes * nranks, nranks=nranks,
+                io_rate=rate * nranks, mode="sync", op=op.op,
+            )
+            absorbed += 1
+        return absorbed

@@ -1,0 +1,277 @@
+"""Seeded job streams: workload mixes with stochastic arrivals.
+
+A :class:`JobStream` turns the repo's workload catalog (VPIC-IO,
+BD-CATS-IO, Nyx, Castro, SW4, Cosmoflow) into a multi-tenant
+submission trace: exponential interarrivals, a weighted workload mix,
+a rank-count distribution and an I/O-mode mix ('auto' submissions are
+the interesting ones — they let policies differ).  Everything draws
+from one :func:`numpy.random.default_rng` seeded by ``(seed, ...)``
+tuples, so a stream is a pure function of its config: same seed, same
+trace, which is what the benchmark's same-seed replay gate asserts.
+
+Job shapes are scaled-down variants of the paper's configurations
+(minutes of simulated time per job instead of hours) so a fleet of
+tens of jobs schedules in seconds of wall-clock; ``size_scale`` /
+``compute_scale`` stretch them back toward paper scale when needed.
+Every job gets a unique output path under ``/tenants/<tenant>/``, and
+read workloads carry their own prepopulate hook.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.platform.spec import MachineSpec
+from repro.sched.job import JobSpec
+
+__all__ = ["JobStream", "StreamConfig", "WORKLOAD_NAMES", "make_job"]
+
+Mi = 1 << 20
+
+
+# ---------------------------------------------------------------------------
+# Catalog: scaled-down job templates, one per workload
+# ---------------------------------------------------------------------------
+
+def _vpic(path: str, nranks: int, size_scale: float, compute_scale: float):
+    from repro.workloads import VPICConfig, vpic_program
+    cfg = VPICConfig(
+        particles_per_rank=max(1, int(2 * Mi * size_scale)),
+        n_properties=4, steps=3,
+        compute_seconds=1.5 * compute_scale, path=path,
+    )
+    return dict(
+        program_factory=vpic_program, config=cfg, op="write",
+        compute_phase_seconds=cfg.compute_seconds,
+        phase_bytes=float(cfg.bytes_per_rank_per_step() * nranks),
+        n_phases=cfg.steps,
+    )
+
+
+def _bdcats(path: str, nranks: int, size_scale: float, compute_scale: float):
+    from repro.workloads import (
+        BDCATSConfig, bdcats_program, prepopulate_vpic_file,
+    )
+    cfg = BDCATSConfig(
+        particles_per_rank=max(1, int(2 * Mi * size_scale)),
+        n_properties=4, steps=3,
+        compute_seconds=1.5 * compute_scale, path=path,
+    )
+    per_step = cfg.particles_per_rank * cfg.n_properties * 4
+    return dict(
+        program_factory=bdcats_program, config=cfg, op="read",
+        prepopulate=lambda lib, n: prepopulate_vpic_file(lib, cfg, n),
+        compute_phase_seconds=cfg.compute_seconds,
+        phase_bytes=float(per_step * nranks),
+        n_phases=cfg.steps,
+    )
+
+
+def _nyx(path: str, nranks: int, size_scale: float, compute_scale: float):
+    from repro.workloads import NyxConfig, nyx_program
+    cfg = NyxConfig(
+        dim=max(32, int(128 * size_scale ** (1 / 3))), max_grid_size=32,
+        plot_int=3, n_plotfiles=2,
+        seconds_per_step=0.5 * compute_scale, path=path,
+    )
+    return dict(
+        program_factory=nyx_program, config=cfg, op="write",
+        compute_phase_seconds=cfg.compute_phase_seconds(),
+        phase_bytes=float(cfg.plotfile_bytes()),
+        n_phases=cfg.n_plotfiles,
+    )
+
+
+def _castro(path: str, nranks: int, size_scale: float, compute_scale: float):
+    from repro.workloads import CastroConfig, castro_program
+    cfg = CastroConfig(
+        dim=max(32, int(64 * size_scale ** (1 / 3))), max_grid_size=16,
+        plot_int=2, n_plotfiles=2,
+        seconds_per_step=0.75 * compute_scale, path=path,
+    )
+    return dict(
+        program_factory=castro_program, config=cfg, op="write",
+        compute_phase_seconds=cfg.compute_phase_seconds(),
+        phase_bytes=float(cfg.plotfile_bytes()),
+        n_phases=cfg.n_plotfiles,
+    )
+
+
+def _sw4(path: str, nranks: int, size_scale: float, compute_scale: float):
+    from repro.workloads import SW4Config, sw4_program
+    cfg = SW4Config(
+        grid_spacing_m=150.0 / max(1e-9, size_scale) ** (1 / 3),
+        checkpoint_int=3, n_checkpoints=2,
+        seconds_per_step=0.5 * compute_scale, path=path,
+    )
+    return dict(
+        program_factory=sw4_program, config=cfg, op="write",
+        compute_phase_seconds=cfg.compute_phase_seconds(),
+        phase_bytes=float(cfg.checkpoint_bytes()),
+        n_phases=cfg.n_checkpoints,
+    )
+
+
+def _cosmoflow(path: str, nranks: int, size_scale: float,
+               compute_scale: float):
+    from repro.workloads import CosmoflowConfig, cosmoflow_program
+    cfg = CosmoflowConfig(
+        voxels=max(32, int(64 * size_scale ** (1 / 3))), channels=4,
+        batch_size=2, batches_per_rank=3, epochs=1,
+        seconds_per_batch=0.5 * compute_scale, path_prefix=path,
+    )
+    return dict(
+        program_factory=cosmoflow_program, config=cfg, op="read",
+        prepopulate=lambda lib, n: cfg.prepopulate(lib, n),
+        compute_phase_seconds=cfg.seconds_per_batch,
+        phase_bytes=float(cfg.batch_size * cfg.sample_bytes() * nranks),
+        n_phases=cfg.epochs * cfg.batches_per_rank,
+    )
+
+
+_CATALOG: dict[str, Callable] = {
+    "vpic": _vpic,
+    "bdcats": _bdcats,
+    "nyx": _nyx,
+    "castro": _castro,
+    "sw4": _sw4,
+    "cosmoflow": _cosmoflow,
+}
+
+WORKLOAD_NAMES = tuple(sorted(_CATALOG))
+
+
+def _walltime(spec: MachineSpec, compute: float, phase_bytes: float,
+              n_phases: int) -> float:
+    """Declared walltime: a 3× margin over a pessimistic sync estimate.
+
+    The pessimistic I/O rate (peak/8) stands in for a bad-contention
+    day, so healthy jobs essentially never trip the deadline while the
+    backfill policies still get a finite bound to reserve against.
+    """
+    degraded_rate = spec.filesystem.peak_bandwidth / 8.0
+    est = n_phases * (compute + phase_bytes / degraded_rate + 2.0)
+    return 3.0 * est + 30.0
+
+
+def make_job(
+    workload: str,
+    spec: MachineSpec,
+    name: str,
+    nranks: int,
+    mode: str = "auto",
+    tenant: Optional[str] = None,
+    size_scale: float = 1.0,
+    compute_scale: float = 1.0,
+    ranks_per_node: Optional[int] = None,
+) -> JobSpec:
+    """Build one scaled-down :class:`JobSpec` from the catalog."""
+    if workload not in _CATALOG:
+        raise ValueError(
+            f"unknown workload {workload!r}; choose from {WORKLOAD_NAMES}"
+        )
+    tenant = tenant or workload
+    path = f"/tenants/{tenant}/{name}.h5"
+    shape = _CATALOG[workload](path, nranks, size_scale, compute_scale)
+    return JobSpec(
+        name=name, tenant=tenant, workload=workload, nranks=nranks,
+        mode=mode, ranks_per_node=ranks_per_node,
+        walltime=_walltime(spec, shape["compute_phase_seconds"],
+                           shape["phase_bytes"], shape["n_phases"]),
+        **shape,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The stream itself
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Parameters of one seeded submission trace."""
+
+    n_jobs: int = 20
+    seed: int = 0
+    #: Mean exponential interarrival gap, seconds.  Lower = higher load.
+    mean_interarrival: float = 20.0
+    workload_mix: tuple[tuple[str, float], ...] = (
+        ("vpic", 3.0), ("sw4", 2.0), ("bdcats", 2.0),
+        ("castro", 1.0), ("nyx", 1.0), ("cosmoflow", 1.0),
+    )
+    rank_choices: tuple[int, ...] = (4, 8, 16)
+    mode_mix: tuple[tuple[str, float], ...] = (
+        ("auto", 0.7), ("sync", 0.2), ("async", 0.1),
+    )
+    size_scale: float = 1.0
+    compute_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        if self.mean_interarrival <= 0:
+            raise ValueError("mean_interarrival must be positive")
+        for mix_name, mix in (("workload_mix", self.workload_mix),
+                              ("mode_mix", self.mode_mix)):
+            if not mix or any(w <= 0 for _n, w in mix):
+                raise ValueError(f"{mix_name} weights must be positive")
+        bad = [n for n, _w in self.workload_mix if n not in _CATALOG]
+        if bad:
+            raise ValueError(f"unknown workloads in mix: {bad}")
+        if not self.rank_choices or min(self.rank_choices) < 1:
+            raise ValueError("rank_choices must be positive")
+
+
+class JobStream:
+    """Pure function from (machine spec, stream config) to a trace."""
+
+    def __init__(self, spec: MachineSpec, config: StreamConfig = StreamConfig()):
+        self.spec = spec
+        self.config = config
+
+    def arrivals(self) -> list[tuple[float, JobSpec]]:
+        """The full submission trace: ``[(arrival_time, JobSpec), ...]``.
+
+        Deterministic in ``(config.seed, n_jobs, ...)``: each job draws
+        its interarrival gap, workload, rank count and mode in a fixed
+        order from one seeded generator.
+        """
+        cfg = self.config
+        rng = np.random.default_rng((cfg.seed, 0x5CED))
+        wl_names = [n for n, _w in cfg.workload_mix]
+        wl_p = np.array([w for _n, w in cfg.workload_mix], dtype=float)
+        wl_p /= wl_p.sum()
+        mode_names = [n for n, _w in cfg.mode_mix]
+        mode_p = np.array([w for _n, w in cfg.mode_mix], dtype=float)
+        mode_p /= mode_p.sum()
+        max_ranks = self.spec.total_nodes * self.spec.default_ranks_per_node
+        ranks = [r for r in cfg.rank_choices if r <= max_ranks]
+        if not ranks:
+            raise ValueError(
+                f"no rank choice from {cfg.rank_choices} fits "
+                f"{max_ranks} rank slots on {self.spec.name}"
+            )
+        trace: list[tuple[float, JobSpec]] = []
+        now = 0.0
+        for j in range(cfg.n_jobs):
+            now += float(rng.exponential(cfg.mean_interarrival))
+            workload = wl_names[int(rng.choice(len(wl_names), p=wl_p))]
+            nranks = int(ranks[int(rng.choice(len(ranks)))])
+            mode = mode_names[int(rng.choice(len(mode_names), p=mode_p))]
+            spec = make_job(
+                workload, self.spec, name=f"job{j:03d}", nranks=nranks,
+                mode=mode, size_scale=cfg.size_scale,
+                compute_scale=cfg.compute_scale,
+            )
+            trace.append((now, spec))
+        return trace
+
+    def fingerprint(self) -> list[tuple[float, str, str, int, str]]:
+        """Compact deterministic view for replay assertions."""
+        return [
+            (round(t, 9), s.workload, s.name, s.nranks, s.mode)
+            for t, s in self.arrivals()
+        ]

@@ -21,6 +21,7 @@ from repro.sim.engine import (
     DeadlineExceeded,
     Engine,
     EngineStats,
+    Interrupted,
     Process,
     SimEvent,
     SimulationError,
@@ -37,6 +38,7 @@ __all__ = [
     "Engine",
     "EngineStats",
     "Flow",
+    "Interrupted",
     "Link",
     "Mutex",
     "Network",

@@ -30,6 +30,7 @@ __all__ = [
     "DeadlineExceeded",
     "Engine",
     "EngineStats",
+    "Interrupted",
     "Process",
     "SimEvent",
     "SimulationError",
@@ -55,6 +56,20 @@ class DeadlineExceeded(TimeoutError):
                  deadline: float = float("nan")):
         super().__init__(message)
         self.deadline = deadline
+
+
+class Interrupted(RuntimeError):
+    """Raised inside a process that another process interrupted.
+
+    ``cause`` carries the interrupter's reason (e.g. a scheduler's
+    walltime kill).  A process may catch it and keep running; the
+    waitable it was blocked on is detached, so a later firing of that
+    waitable no longer resumes the process.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(f"interrupted: {cause!r}")
+        self.cause = cause
 
 
 class EngineStats:
@@ -291,7 +306,7 @@ class Process:
     process joins the failing process, in which case they propagate there.
     """
 
-    __slots__ = ("engine", "generator", "done", "name", "_started")
+    __slots__ = ("engine", "generator", "done", "name", "_started", "_waiting")
 
     def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
         self.engine = engine
@@ -299,6 +314,11 @@ class Process:
         self.name = name or getattr(generator, "__name__", "process")
         self.done = SimEvent(engine, name=f"{self.name}.done")
         self._started = False
+        #: The event this process is currently blocked on.  Used to
+        #: detach a stale subscription after :meth:`interrupt`: if the
+        #: old waitable fires later, its callback no longer matches
+        #: ``_waiting`` and is dropped.
+        self._waiting: Optional[SimEvent] = None
         engine.schedule(0.0, self._resume, None, None)
 
     @property
@@ -311,10 +331,38 @@ class Process:
         """Return value of the process (``None`` until it terminates)."""
         return self.done.value
 
+    def interrupt(self, cause: Any = None) -> bool:
+        """Throw :class:`Interrupted` into the process *now*.
+
+        Used by schedulers to enforce walltime limits on running jobs.
+        The process's current wait is detached — if the waitable it was
+        blocked on fires later, the process is not resumed by it.  The
+        generator may catch :class:`Interrupted` (to clean up or keep
+        running); an uncaught interrupt terminates the process like any
+        other unhandled exception (propagating to joiners if any).
+
+        Returns ``False`` (no-op) if the process already terminated.
+        A process that has been created but not yet started defers the
+        interrupt until after its first resume, preserving the rule
+        that every process body starts executing at its spawn instant.
+        """
+        if self.done._triggered:
+            return False
+        if not self._started:
+            # The start callback is already queued ahead of us; run the
+            # interrupt right after it at the same instant.
+            self.engine.schedule(0.0, self.interrupt, cause)
+            return True
+        self._waiting = None
+        self._resume(None, cause if isinstance(cause, BaseException)
+                     else Interrupted(cause))
+        return True
+
     def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
         done = self.done
         if done._triggered:
             return
+        self._started = True
         try:
             if exc is not None:
                 waitable = self.generator.throw(exc)
@@ -331,12 +379,18 @@ class Process:
             return
         # Inlined SimEvent._wait — this is the hottest subscription site.
         event = waitable._as_event(self.engine)
+        self._waiting = event
         if event._processed:
             self.engine.schedule(0.0, self._on_event, event)
         else:
             event.callbacks.append(self._on_event)
 
     def _on_event(self, event: SimEvent) -> None:
+        if event is not self._waiting:
+            # Stale subscription: the process was interrupted while
+            # blocked on this event and has moved on (or died).
+            return
+        self._waiting = None
         self._resume(event._value, event._exc)
 
     # Waitable protocol -------------------------------------------------

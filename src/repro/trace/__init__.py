@@ -12,11 +12,14 @@ aggregate-bandwidth and phase-time metrics.
 from repro.trace.recorder import IOLog, IOOpRecord
 from repro.trace.export import records_to_csv, records_to_json
 from repro.trace.profiler import IOProfile, profile_log
+from repro.trace.spans import Span, SpanLog
 
 __all__ = [
     "IOLog",
     "IOOpRecord",
     "IOProfile",
+    "Span",
+    "SpanLog",
     "profile_log",
     "records_to_csv",
     "records_to_json",

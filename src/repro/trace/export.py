@@ -36,8 +36,18 @@ def records_to_csv(records: Iterable[IOOpRecord]) -> str:
     return buf.getvalue()
 
 
-def records_to_json(records: Iterable[IOOpRecord]) -> str:
-    """Serialize records to a JSON array (NaN encoded as null)."""
+def records_to_json(records: Iterable[IOOpRecord],
+                    engine_stats=None) -> str:
+    """Serialize records to a JSON array (NaN encoded as null).
+
+    ``engine_stats`` (an :class:`~repro.sim.engine.EngineStats`, its
+    ``snapshot()`` dict, or a per-job delta dict) opts into the
+    simulator's counter surface: the result becomes an object
+    ``{"records": [...], "engine_stats": {...}}`` so scheduler runs can
+    report event and rebalance counts next to the operations they
+    attribute to a tenant.  Without it the output stays the plain
+    array for backward compatibility.
+    """
     rows = []
     for r in records:
         row = {f: getattr(r, f) for f in _FIELDS}
@@ -45,4 +55,8 @@ def records_to_json(records: Iterable[IOOpRecord]) -> str:
             if isinstance(value, float) and math.isnan(value):
                 row[key] = None
         rows.append(row)
-    return json.dumps(rows)
+    if engine_stats is None:
+        return json.dumps(rows)
+    stats = (engine_stats.snapshot() if hasattr(engine_stats, "snapshot")
+             else dict(engine_stats))
+    return json.dumps({"records": rows, "engine_stats": stats})

@@ -1,0 +1,108 @@
+"""Per-tenant spans: attributing simulated time to jobs in a fleet.
+
+Single-job runs attribute everything to "the application"; once a
+scheduler co-runs many tenants on one engine, every reported second
+needs an owner.  A :class:`Span` is one labelled interval of simulated
+time tagged with the job id that owns it (``queued``, ``run``, and
+whatever finer-grained intervals a runner chooses to record), plus a
+free-form ``meta`` dict — the scheduler stores each job's
+:class:`~repro.sim.engine.EngineStats` deltas there, so event and
+rebalance counts are attributable per tenant the same way Darshan
+attributes I/O time per file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Span", "SpanLog"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One labelled interval of simulated time owned by a job."""
+
+    job_id: int
+    name: str
+    t_start: float
+    t_end: float
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise ValueError(
+                f"span {self.name!r} ends before it starts: "
+                f"[{self.t_start}, {self.t_end}]"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in simulated seconds."""
+        return self.t_end - self.t_start
+
+
+class SpanLog:
+    """Append-only log of :class:`Span` with per-tenant reductions."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def record(self, job_id: int, name: str, t_start: float, t_end: float,
+               **meta: Any) -> Span:
+        """Create, store and return one span."""
+        span = Span(job_id, name, t_start, t_end, meta)
+        self.spans.append(span)
+        return span
+
+    def for_job(self, job_id: int) -> list[Span]:
+        """All spans owned by ``job_id``, in record order."""
+        return [s for s in self.spans if s.job_id == job_id]
+
+    def job_ids(self) -> list[int]:
+        """Sorted distinct job ids present in the log."""
+        return sorted({s.job_id for s in self.spans})
+
+    def total(self, job_id: int, name: Optional[str] = None) -> float:
+        """Total duration of ``job_id``'s spans (optionally one label)."""
+        return sum(
+            s.duration for s in self.spans
+            if s.job_id == job_id and (name is None or s.name == name)
+        )
+
+    def tenant_table(self) -> list[dict]:
+        """One row per job: queued/run durations plus merged span meta.
+
+        The merged meta dict is the union of each span's ``meta`` (later
+        spans win on key collisions), which is where the scheduler's
+        per-job :class:`~repro.sim.engine.EngineStats` deltas surface.
+        """
+        rows = []
+        for job_id in self.job_ids():
+            meta: dict = {}
+            for span in self.for_job(job_id):
+                meta.update(span.meta)
+            rows.append({
+                "job_id": job_id,
+                "queued_s": self.total(job_id, "queued"),
+                "run_s": self.total(job_id, "run"),
+                **meta,
+            })
+        return rows
+
+    def to_json(self) -> str:
+        """Serialize all spans as a JSON array."""
+        return json.dumps([
+            {
+                "job_id": s.job_id,
+                "name": s.name,
+                "t_start": s.t_start,
+                "t_end": s.t_end,
+                "meta": s.meta,
+            }
+            for s in self.spans
+        ])

@@ -256,6 +256,95 @@ def test_burst_buffer_available_on_cori():
     assert flow.achieved_rate == pytest.approx(6.5 * GB, rel=1e-6)
 
 
+def test_burst_buffer_shared_by_co_tenant_jobs():
+    """Two tenants' nodes draining to one BB split its link fairly."""
+    machine = cori_haswell()
+    eng, cluster = build(machine, 4)
+    bb = cluster.burst_buffer
+    nbytes = 512 * MiB
+    # Tenant A on nodes 0-1, tenant B on nodes 2-3, all writing at once.
+    flows = [
+        bb.write(node, nbytes, tag=("A" if node.index < 2 else "B", node.index))
+        for node in cluster.nodes
+    ]
+    eng.run()
+    # Each node's 6.5 GB/s NIC is the bottleneck (4 * 6.5 = 26 GB/s
+    # << 1.7 TB/s BB): co-tenancy costs nothing until the BB saturates.
+    for f in flows:
+        assert f.achieved_rate == pytest.approx(6.5 * GB, rel=1e-6)
+
+
+def test_burst_buffer_saturation_splits_across_tenants():
+    """When aggregate injection exceeds the BB link, tenants share it."""
+    machine = _testbed(nodes=4, nic=10 * GB)
+    machine = type(machine)(**{**machine.__dict__,
+                               "burst_buffer_bandwidth": 20 * GB})
+    eng, cluster = build(machine, 4)
+    bb = cluster.burst_buffer
+    # 4 nodes * 10 GB/s NIC = 40 GB/s wants through a 20 GB/s BB link.
+    flows = [bb.write(node, 512 * MiB, tag=node.index)
+             for node in cluster.nodes]
+    eng.run()
+    for f in flows:
+        assert f.achieved_rate == pytest.approx(20 * GB / 4, rel=0.02)
+
+
+def test_burst_buffer_drain_competes_with_other_tenant_pfs_writes():
+    """A BB->PFS drain and a direct PFS write share the PFS backend."""
+    machine = _testbed(nodes=2, pfs_peak=10 * GB, nic=10 * GB)
+    machine = type(machine)(**{**machine.__dict__,
+                               "burst_buffer_bandwidth": 100 * GB})
+    eng, cluster = build(machine, 2)
+    bb = cluster.burst_buffer
+    target_a = cluster.pfs.open_file("/tenants/a/drain.h5")
+    target_b = cluster.pfs.open_file("/tenants/b/direct.h5")
+    drain = bb.drain_to_pfs(cluster.pfs, target_a, 512 * MiB, tag="a")
+    direct = cluster.pfs_write(cluster.nodes[1], target_b, 512 * MiB, tag="b")
+    eng.run()
+    # Both want the full 10 GB/s backend; max-min gives each half.
+    assert drain.achieved_rate == pytest.approx(5 * GB, rel=0.02)
+    assert direct.achieved_rate == pytest.approx(5 * GB, rel=0.02)
+
+
+def test_node_local_ssds_are_private_per_tenant():
+    """Co-tenant jobs on *different* nodes never share SSD bandwidth."""
+    eng, cluster = build(summit(), 2)
+    f_a = cluster.nodes[0].ssd.write(1 * GB, tag="tenant-a")
+    f_b = cluster.nodes[1].ssd.write(1 * GB, tag="tenant-b")
+    eng.run()
+    # Each gets the full 2.1 GB/s device rate: node-local isolation.
+    assert f_a.achieved_rate == pytest.approx(2.1 * GB, rel=1e-6)
+    assert f_b.achieved_rate == pytest.approx(2.1 * GB, rel=1e-6)
+    # Capacity accounting is per-device too.
+    assert cluster.nodes[0].ssd.bytes_stored == pytest.approx(1 * GB)
+    assert cluster.nodes[1].ssd.bytes_stored == pytest.approx(1 * GB)
+
+
+def test_node_local_ssd_shared_within_a_node():
+    """Ranks co-located on one node DO share that node's SSD link."""
+    eng, cluster = build(summit(), 1)
+    ssd = cluster.nodes[0].ssd
+    flows = [ssd.write(512 * MiB, tag=i) for i in range(4)]
+    eng.run()
+    for f in flows:
+        assert f.achieved_rate == pytest.approx(2.1 * GB / 4, rel=0.02)
+
+
+def test_node_local_ssd_capacity_is_shared_by_co_tenants():
+    """Two tenants filling one node's SSD hit the same capacity wall."""
+    eng, cluster = build(summit(), 1)
+    ssd = cluster.nodes[0].ssd
+    ssd.write(1.0e12, tag="tenant-a")
+    ssd.write(0.5e12, tag="tenant-b")
+    eng.run()
+    with pytest.raises(RuntimeError):
+        ssd.write(0.2e12, tag="tenant-c")  # 1.5 + 0.2 > 1.6 TB
+    ssd.evict(0.5e12)
+    flow = ssd.write(0.1e12, tag="tenant-c")
+    eng.run()
+    assert flow.done.triggered
+
+
 def test_rank_placement():
     eng, cluster = build(_testbed(nodes=4, ranks_per_node=4), 4)
     assert cluster.node_of_rank(0, 4).index == 0
