@@ -1,0 +1,62 @@
+"""``repro.check`` — machine-checked repo invariants.
+
+Two halves (see ``docs/architecture.md``, "Static analysis & runtime
+checking"):
+
+- :mod:`repro.check.lint` — an AST-based static analyzer enforcing the
+  determinism and error-discipline invariants the byte-identical figure
+  gates rest on (no wall-clock or unseeded entropy in sim paths, typed
+  errors, no bare excepts, no float ``==`` on simulated time, ...).
+  Every rule carries an ID and a fix hint; suppressions require a
+  written justification.
+- :mod:`repro.check.runtime` — an opt-in runtime checker for the
+  simulator: a vector-clock happens-before detector for unsynchronized
+  shared-state access across simulated processes, plus a resource-leak
+  auditor (unreleased ``Reservation``s, un-drained ``EventSet``s,
+  un-awaited failed ``SimEvent``s, processes parked forever).
+
+Both are wired into the ``repro check`` CLI subcommand and the CI
+``static-analysis`` job.
+
+Import discipline: this package is imported by the hot simulator
+modules (through :mod:`repro.check.hooks`), so its eager imports are
+stdlib-only.  :class:`RuntimeChecker` — which imports the engine — is
+re-exported lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.check.lint import (
+    Finding,
+    lint_paths,
+    lint_source,
+    render_findings,
+)
+from repro.check.rules import RULES, all_rules
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "RuntimeChecker",
+    "RuntimeFinding",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "render_findings",
+]
+
+#: Lazily-imported names -> their defining submodule (PEP 562).  Eagerly
+#: importing :mod:`repro.check.runtime` here would close an import cycle
+#: through :mod:`repro.sim.engine`.
+_LAZY = {"RuntimeChecker": "runtime", "RuntimeFinding": "runtime"}
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(f"repro.check.{_LAZY[name]}")
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,28 @@
+"""Instrumentation seam between the simulator and the runtime checker.
+
+This module is deliberately import-free (stdlib or otherwise) so that
+the hot simulator modules (:mod:`repro.sim.engine`,
+:mod:`repro.sim.primitives`, :mod:`repro.hdf5.async_vol`) can import it
+without any risk of an import cycle, and so that the *disabled* cost of
+every instrumentation point is a single module-attribute load plus an
+``is None`` test.
+
+``checker`` is ``None`` unless a
+:class:`repro.check.runtime.RuntimeChecker` is installed (opt-in; see
+``RuntimeChecker.installed()``).  Instrumented sites follow the
+pattern::
+
+    ck = _hooks.checker
+    if ck is not None:
+        ck.on_release(self)
+
+The checker must never mutate simulation state or schedule callbacks:
+with a checker installed the event schedule — and therefore every
+emitted trace — stays byte-for-byte identical to an uninstrumented run.
+"""
+
+from __future__ import annotations
+
+#: The installed runtime checker, or ``None`` (the default: all
+#: instrumentation points are no-ops).
+checker = None

@@ -1,0 +1,183 @@
+"""AST-based static analyzer enforcing the repo's invariants.
+
+Every finding carries a stable rule ID, the offending location and a
+fix hint.  Violations can be suppressed — with a written justification
+— by a comment on the offending line or on a comment-only line
+directly above it::
+
+    t0 = time.time()  # repro-check: disable=RC101 (host-side harness timing)
+
+A suppression without a justification does not suppress anything and
+is itself reported (RC001); an unknown rule ID in a suppression is
+reported too (RC002), so stale directives cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+from repro.check.rules import RULES, LintContext
+
+__all__ = ["Finding", "lint_paths", "lint_source", "render_findings"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    hint: str
+
+    def format(self) -> str:
+        """``path:line:col: RCxyz message (hint: ...)``."""
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule_id} "
+                f"{self.message} (hint: {self.hint})")
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-check:\s*disable=([A-Za-z0-9_,\s]+?)\s*(?:\((.*)\))?\s*$"
+)
+
+_META_HINTS = {
+    "RC000": "fix the syntax error; unparseable files cannot be checked",
+    "RC001": "add a justification: "
+             "# repro-check: disable=RCxyz (why this is safe here)",
+    "RC002": "use a registered rule ID (see 'repro check --list-rules')",
+}
+
+
+@dataclass(frozen=True)
+class _Directive:
+    """One parsed ``repro-check: disable=`` comment."""
+
+    line: int
+    col: int
+    rule_ids: tuple[str, ...]
+    reason: str
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.reason.strip())
+
+
+def _parse_directives(path: str, lines: Sequence[str]
+                      ) -> tuple[list[_Directive], list[Finding]]:
+    """Extract suppression directives and the meta-findings they earn."""
+    directives: list[_Directive] = []
+    meta: list[Finding] = []
+    for lineno, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rule_ids = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        directive = _Directive(
+            line=lineno, col=match.start(), rule_ids=rule_ids,
+            reason=match.group(2) or "",
+        )
+        directives.append(directive)
+        if not directive.valid:
+            meta.append(Finding(
+                path, lineno, directive.col, "RC001",
+                "suppression without a justification (it suppresses "
+                "nothing)", _META_HINTS["RC001"],
+            ))
+        for rule_id in rule_ids:
+            if rule_id not in RULES:
+                meta.append(Finding(
+                    path, lineno, directive.col, "RC002",
+                    f"suppression names unknown rule {rule_id!r}",
+                    _META_HINTS["RC002"],
+                ))
+    return directives, meta
+
+
+def _suppressed_at(directives: list[_Directive], lines: Sequence[str],
+                   rule_id: str, line: int) -> bool:
+    """Whether a *valid* directive covers ``rule_id`` on ``line`` —
+    either on the line itself or on a comment-only line just above."""
+    for directive in directives:
+        if not directive.valid or rule_id not in directive.rule_ids:
+            continue
+        if directive.line == line:
+            return True
+        if directive.line == line - 1:
+            above = lines[directive.line - 1].strip()
+            if above.startswith("#"):
+                return True
+    return False
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one file's source text; ``path`` drives rule scoping."""
+    path = pathlib.PurePath(path).as_posix()
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        return [Finding(
+            path, err.lineno or 1, (err.offset or 1) - 1, "RC000",
+            f"syntax error: {err.msg}", _META_HINTS["RC000"],
+        )]
+    directives, findings = _parse_directives(path, lines)
+    ctx = LintContext(path=path, tree=tree, source=source, lines=lines)
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        if not rule.applies(ctx):
+            continue
+        for line, col, message in rule.check(ctx):
+            if _suppressed_at(directives, lines, rule.id, line):
+                continue
+            findings.append(Finding(path, line, col, rule.id, message,
+                                    rule.hint))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
+def _iter_python_files(paths: Iterable[Union[str, pathlib.Path]]
+                       ) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return files
+
+
+def lint_paths(paths: Iterable[Union[str, pathlib.Path]]) -> list[Finding]:
+    """Lint every ``*.py`` file under ``paths`` (files or directories)."""
+    findings: list[Finding] = []
+    for file_path in _iter_python_files(paths):
+        findings.extend(
+            lint_source(file_path.read_text(encoding="utf-8"),
+                        path=str(file_path))
+        )
+    return findings
+
+
+def render_findings(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one line per finding plus a tally."""
+    if not findings:
+        return "repro check: no findings"
+    out = [f.format() for f in findings]
+    by_rule: dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+    tally = ", ".join(f"{rule_id} x{count}"
+                      for rule_id, count in sorted(by_rule.items()))
+    out.append(f"repro check: {len(findings)} finding"
+               f"{'s' if len(findings) != 1 else ''} ({tally})")
+    return "\n".join(out)

@@ -1,0 +1,107 @@
+"""Pluggable rule registry for the ``repro check`` static analyzer.
+
+A rule is a small object with an ``id`` (``RCxyz``, stable forever), a
+one-line ``title``, a ``hint`` telling the author how to fix the
+violation, a ``scope`` and a ``check`` method yielding violations as
+``(line, col, message)`` triples.
+
+Scopes
+------
+
+``"repo"``
+    The rule applies to every linted file (``src/`` and ``tests/``).
+``"sim"``
+    The rule applies only to the simulation-path packages whose
+    determinism the figure gates depend on: ``repro/sim``,
+    ``repro/sched``, ``repro/hdf5``, ``repro/faults``,
+    ``repro/platform``.
+
+Adding a rule
+-------------
+
+1. Subclass :class:`Rule` in one of the modules here (or a new one),
+   set ``id``/``title``/``hint``/``scope`` and implement ``check``.
+2. Decorate it with :func:`register`.  IDs must be unique; pick the
+   next free number in the band (1xx determinism, 2xx error
+   discipline, 3xx hygiene).
+3. Add a good/bad fixture pair for it in ``tests/test_check.py`` and a
+   row to the rule table in ``docs/architecture.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Type
+
+__all__ = ["LintContext", "RULES", "Rule", "all_rules", "register"]
+
+#: Packages (posix path fragments) whose determinism the repo's
+#: byte-identical gates rest on; ``scope="sim"`` rules apply here only.
+SIM_PATHS = (
+    "repro/sim/",
+    "repro/sched/",
+    "repro/hdf5/",
+    "repro/faults/",
+    "repro/platform/",
+)
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may look at for one file."""
+
+    path: str  # normalized to posix separators
+    tree: ast.Module
+    source: str
+    lines: list[str] = field(default_factory=list)
+
+    @property
+    def in_sim_path(self) -> bool:
+        """Whether the file lives in a determinism-critical package."""
+        return any(fragment in self.path for fragment in SIM_PATHS)
+
+
+class Rule:
+    """Base class for lint rules; subclasses override the metadata and
+    :meth:`check`."""
+
+    id: str = ""
+    title: str = ""
+    hint: str = ""
+    scope: str = "repo"  # "repo" | "sim"
+
+    def applies(self, ctx: LintContext) -> bool:
+        """Whether this rule runs on ``ctx`` at all (scope gate)."""
+        return self.scope == "repo" or ctx.in_sim_path
+
+    def check(self, ctx: LintContext) -> Iterator[tuple[int, int, str]]:
+        """Yield ``(line, col, message)`` per violation."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+#: Registered rules, keyed by ID (insertion-ordered for stable output).
+RULES: dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one instance of ``rule_cls`` to the registry."""
+    rule = rule_cls()
+    if not rule.id or not rule.title or not rule.hint:
+        raise ValueError(f"rule {rule_cls.__name__} lacks id/title/hint")
+    if rule.scope not in ("repo", "sim"):
+        raise ValueError(f"rule {rule.id}: unknown scope {rule.scope!r}")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    RULES[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules in ID order."""
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+# Importing the rule modules populates the registry.
+from repro.check.rules import determinism, errors, hygiene  # noqa: E402,F401

@@ -1,0 +1,372 @@
+"""Opt-in runtime checker: happens-before races and resource leaks.
+
+The static half of ``repro check`` proves source-level invariants; this
+module watches a *running* simulation through the zero-cost
+instrumentation seam (:mod:`repro.check.hooks`) and reports two classes
+of dynamic violations:
+
+**Races (RT101).**  A vector-clock happens-before detector over the
+simulated concurrency structure.  Every simulated process carries a
+sparse vector clock; synchronization edges are derived from the
+primitives themselves:
+
+- event trigger → waiter wakeup (which covers joins, ``AllOf``/
+  ``AnyOf``, semaphore handoff, barrier release, ``timeout_guard``),
+- ``Queue.put`` → ``get``/``pop_if`` (the async VOL's work handoff),
+- semaphore / staging-buffer release → subsequent acquire,
+- barrier arrival → barrier release,
+- process spawn (parent → child).
+
+Tracked shared state — dataset payload regions
+(:meth:`StoredDataset.apply_write` / ``read_payload``) — is checked on
+every access: two accesses to the same region, at least one a write,
+with no happens-before path between them, is exactly the data race the
+async connector's transactional copy exists to prevent (§III-A).
+
+**Leaks (RT2xx).**  A resource auditor runs at every engine drain
+(``Engine.run`` returning with an empty queue) and at :meth:`report`:
+``Reservation``s never released (RT201), ``EventSet``s with operations
+still pending (RT202), failed ``SimEvent``s whose exception nobody
+ever observed (RT203), and processes still parked when the event heap
+drained (RT204).
+
+The checker is strictly observational: it never schedules callbacks or
+mutates simulation state, so an instrumented run's event schedule — and
+every emitted trace — is byte-for-byte identical to an uninstrumented
+one.  Detection scope is one engine drain: access history is flushed
+once an engine's queue empties (sequential engine runs cannot race).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+from repro.check import hooks as _hooks
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine, Process, SimEvent
+
+__all__ = ["RuntimeChecker", "RuntimeFinding"]
+
+#: Safety valve: stop accumulating findings past this count.
+_MAX_FINDINGS = 500
+
+
+@dataclass(frozen=True)
+class RuntimeFinding:
+    """One dynamic violation observed by the runtime checker."""
+
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.rule_id} {self.message}"
+
+
+class _Clock:
+    """Sparse vector clock with copy-on-write snapshots.
+
+    ``vec`` maps process id -> last-known tick.  ``snapshot`` freezes
+    the dict and hands out a shared reference (events triggered between
+    two resumes of the same process share one snapshot); the next
+    mutation copies.  ``join`` skips already-subsumed merges, so the
+    steady-state per-event cost is O(1).
+    """
+
+    __slots__ = ("pid", "tick", "vec", "frozen")
+
+    def __init__(self, pid: int, parent_vec: Optional[dict] = None):
+        self.pid = pid
+        self.tick = 0
+        self.vec: dict[int, int] = dict(parent_vec) if parent_vec else {}
+        self.vec[pid] = 0
+        self.frozen = False
+
+    def bump(self) -> None:
+        """Advance this process's own component (one per resume)."""
+        if self.frozen:
+            self.vec = dict(self.vec)
+            self.frozen = False
+        self.tick += 1
+        self.vec[self.pid] = self.tick
+
+    def snapshot(self) -> dict[int, int]:
+        """Freeze and share the current vector."""
+        self.frozen = True
+        return self.vec
+
+    def join(self, other: Optional[dict]) -> None:
+        """Merge ``other`` in (no-op when already subsumed)."""
+        if other is None or other is self.vec:
+            return
+        vec = self.vec
+        for pid, tick in other.items():
+            if vec.get(pid, -1) < tick:
+                break
+        else:
+            return
+        if self.frozen:
+            self.vec = vec = dict(vec)
+            self.frozen = False
+        for pid, tick in other.items():
+            if vec.get(pid, -1) < tick:
+                vec[pid] = tick
+
+    def saw(self, pid: int, tick: int) -> bool:
+        """Whether the access ``(pid, tick)`` happens-before this clock."""
+        return self.vec.get(pid, -1) >= tick
+
+
+class _Access:
+    """Last write plus per-process reads since, for one state key."""
+
+    __slots__ = ("write", "reads")
+
+    def __init__(self) -> None:
+        self.write: Optional[tuple[int, int, str]] = None  # pid, tick, detail
+        self.reads: dict[int, tuple[int, str]] = {}
+
+
+class RuntimeChecker:
+    """The happens-before race detector and resource-leak auditor.
+
+    Usage::
+
+        checker = RuntimeChecker()
+        with checker.installed():
+            ...  # build engines, run the pipeline under test
+        findings = checker.report()
+
+    Only one checker can be installed at a time (the seam is a module
+    global); installation is what makes the instrumentation points in
+    the engine, the primitives and the async VOL live.
+    """
+
+    def __init__(self) -> None:
+        self._next_pid = 0
+        self._root = self._new_clock()
+        self._stack: list[_Clock] = []
+        #: Live processes of the current drain scope (strong refs; the
+        #: per-process clock lives in the ``Process._vc`` slot).
+        self._procs: list["Process"] = []
+        #: Failed events whose exception has not been observed yet:
+        #: id(event) -> (event, had_waiters_at_trigger).
+        self._failed: dict[int, tuple["SimEvent", bool]] = {}
+        #: Reservations and event sets of the current drain scope.
+        self._reservations: list[Any] = []
+        self._eventsets: list[Any] = []
+        #: Tracked-state access table of the current drain scope.
+        self._accesses: dict[Any, _Access] = {}
+        self._reported: set[Any] = set()
+        self.findings: list[RuntimeFinding] = []
+        #: Engine drains observed (exposed for tests/diagnostics).
+        self.drains = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def install(self) -> None:
+        """Make this checker live on the instrumentation seam."""
+        if _hooks.checker is not None:
+            raise RuntimeError("a RuntimeChecker is already installed")
+        _hooks.checker = self
+
+    def uninstall(self) -> None:
+        """Detach from the seam (no-op if another checker is live)."""
+        if _hooks.checker is self:
+            _hooks.checker = None
+
+    @contextlib.contextmanager
+    def installed(self) -> Iterator["RuntimeChecker"]:
+        """Context manager around :meth:`install` / :meth:`uninstall`."""
+        self.install()
+        try:
+            yield self
+        finally:
+            self.uninstall()
+
+    # -- internals -----------------------------------------------------
+    def _new_clock(self, parent_vec: Optional[dict] = None) -> _Clock:
+        clock = _Clock(self._next_pid, parent_vec)
+        self._next_pid += 1
+        return clock
+
+    def _current(self) -> _Clock:
+        return self._stack[-1] if self._stack else self._root
+
+    def _clock_of(self, proc: "Process") -> _Clock:
+        clock = getattr(proc, "_vc", None)
+        if clock is None:
+            # Spawned before install: adopt the root's view.
+            clock = self._new_clock(self._root.snapshot())
+            proc._vc = clock
+            self._procs.append(proc)
+        return clock
+
+    def _add_finding(self, rule_id: str, message: str) -> None:
+        if len(self.findings) < _MAX_FINDINGS:
+            self.findings.append(RuntimeFinding(rule_id, message))
+
+    # -- engine hooks (called from repro.sim.engine) -------------------
+    def on_spawn(self, proc: "Process") -> None:
+        proc._vc = self._new_clock(self._current().snapshot())
+        self._procs.append(proc)
+
+    def on_resume(self, proc: "Process") -> None:
+        clock = self._clock_of(proc)
+        clock.bump()
+        self._stack.append(clock)
+
+    def on_suspend(self, proc: "Process") -> None:
+        if self._stack:
+            self._stack.pop()
+
+    def on_wakeup(self, proc: "Process", event: "SimEvent") -> None:
+        self._clock_of(proc).join(getattr(event, "_clock", None))
+        if event._exc is not None:
+            self._failed.pop(id(event), None)
+
+    def on_trigger(self, event: "SimEvent") -> None:
+        event._clock = self._current().snapshot()
+        if event._exc is not None:
+            self._failed[id(event)] = (event, bool(event.callbacks))
+
+    def on_error_observed(self, event: "SimEvent") -> None:
+        """An event's failure was harvested (EventSet error accounting)."""
+        self._failed.pop(id(event), None)
+
+    def on_drained(self, engine: "Engine") -> None:
+        """``Engine.run`` returned with an empty queue: audit + flush."""
+        self.drains += 1
+        self._audit_drain_scope(engine)
+        self._procs = [p for p in self._procs if p.engine is not engine]
+        self._reservations = [r for r in self._reservations
+                              if r.buffer.engine is not engine]
+        self._eventsets = [es for es in self._eventsets
+                           if es.engine is not engine]
+        self._accesses = {}
+        self._root = self._new_clock()
+        self._stack = []
+
+    # -- synchronization-object hooks (primitives, staging buffer) -----
+    def on_release(self, obj: Any) -> None:
+        """Publish the current clock into ``obj``'s clock (lock-release
+        edge: everything before this release happens-before whatever
+        acquires ``obj`` next)."""
+        vec = self._current().snapshot()
+        oc = getattr(obj, "_rc_clock", None)
+        if oc is None:
+            obj._rc_clock = dict(vec)
+            return
+        for pid, tick in vec.items():
+            if oc.get(pid, -1) < tick:
+                oc[pid] = tick
+
+    def on_acquire(self, obj: Any) -> None:
+        """Join ``obj``'s clock into the current process (acquire edge)."""
+        oc = getattr(obj, "_rc_clock", None)
+        if oc is not None:
+            self._current().join(oc)
+
+    # -- resource registration hooks -----------------------------------
+    def on_reservation(self, reservation: Any) -> None:
+        self._reservations.append(reservation)
+
+    def on_eventset(self, eventset: Any) -> None:
+        self._eventsets.append(eventset)
+
+    # -- tracked shared state ------------------------------------------
+    def on_state(self, key: Any, write: bool, detail: str) -> None:
+        """Record one access to tracked shared state and check ordering."""
+        clock = self._current()
+        access = self._accesses.get(key)
+        if access is None:
+            access = self._accesses[key] = _Access()
+        if access.write is not None:
+            w_pid, w_tick, w_detail = access.write
+            if w_pid != clock.pid and not clock.saw(w_pid, w_tick):
+                self._race(key, "write", w_detail, "write" if write else "read",
+                           detail, w_pid, clock.pid)
+        if write:
+            for r_pid, (r_tick, r_detail) in access.reads.items():
+                if r_pid != clock.pid and not clock.saw(r_pid, r_tick):
+                    self._race(key, "read", r_detail, "write", detail,
+                               r_pid, clock.pid)
+            access.write = (clock.pid, clock.tick, detail)
+            access.reads.clear()
+        else:
+            access.reads[clock.pid] = (clock.tick, detail)
+
+    def _race(self, key: Any, kind_a: str, detail_a: str, kind_b: str,
+              detail_b: str, pid_a: int, pid_b: int) -> None:
+        token = (key, kind_a, kind_b)
+        if token in self._reported:
+            return
+        self._reported.add(token)
+        self._add_finding(
+            "RT101",
+            f"unsynchronized {kind_a}/{kind_b} on {detail_b}: "
+            f"{kind_a} by process {pid_a} and {kind_b} by process "
+            f"{pid_b} have no happens-before edge",
+        )
+
+    # -- audits ---------------------------------------------------------
+    def _audit_drain_scope(self, engine: Optional["Engine"]) -> None:
+        for proc in self._procs:
+            if engine is not None and proc.engine is not engine:
+                continue
+            if proc.alive:
+                waiting = proc._waiting
+                where = (f" (waiting on {waiting.name!r})"
+                         if waiting is not None else "")
+                self._add_finding(
+                    "RT204",
+                    f"process {proc.name!r} still parked when the event "
+                    f"heap drained{where}",
+                )
+        for res in self._reservations:
+            if engine is not None and res.buffer.engine is not engine:
+                continue
+            if res.state in ("held", "waiting"):
+                self._add_finding(
+                    "RT201",
+                    f"reservation of {res.nbytes:.3g}B on "
+                    f"{res.buffer.name} never released "
+                    f"(state {res.state!r} at teardown)",
+                )
+        for es in self._eventsets:
+            if engine is not None and es.engine is not engine:
+                continue
+            pending = sum(1 for _, ev in es._pending if not ev._processed)
+            if pending:
+                self._add_finding(
+                    "RT202",
+                    f"event set {es.name!r} torn down with {pending} "
+                    f"operation(s) still pending (H5ESwait never drained "
+                    f"it)",
+                )
+
+    def report(self) -> list[RuntimeFinding]:
+        """Audit whatever is still live, then return all findings."""
+        self._audit_drain_scope(None)
+        self._procs = []
+        self._reservations = []
+        self._eventsets = []
+        for event, had_waiters in self._failed.values():
+            if not had_waiters:
+                self._add_finding(
+                    "RT203",
+                    f"failed event {event.name!r} was never awaited: "
+                    f"{type(event._exc).__name__} swallowed silently",
+                )
+        self._failed = {}
+        return list(self.findings)
+
+    def assert_clean(self) -> None:
+        """Raise ``AssertionError`` with the full report if anything fired."""
+        findings = self.report()
+        if findings:
+            body = "\n".join(f.format() for f in findings)
+            raise AssertionError(
+                f"runtime checker reported {len(findings)} finding(s):\n{body}"
+            )

@@ -31,6 +31,14 @@ Commands
     one or all policies and print the fleet metrics, e.g.::
 
         python -m repro sched --policy all --jobs 25 --load 2 4
+
+``check``
+    Static analysis + optional runtime checking (the repo's own
+    invariants: determinism, typed errors, hygiene)::
+
+        python -m repro check                 # lint src/ and tests/
+        python -m repro check --list-rules
+        python -m repro check --runtime smoke # race/leak detector gate
 """
 
 from __future__ import annotations
@@ -256,6 +264,88 @@ def _cmd_sched(args) -> int:
     return 0
 
 
+def _runtime_smoke_text() -> str:
+    """A small async VPIC pipeline rendered as a full-resolution trace.
+
+    Used by ``check --runtime smoke``: the gate runs this twice (bare,
+    then under the installed checker) and requires byte-identical text —
+    proving the checker is strictly observational — plus zero findings.
+    """
+    import math
+    from repro.sim import Engine
+    from repro.mpi import MPIJob
+    from repro.platform import Cluster
+    from repro.hdf5 import H5Library
+    from repro.hdf5.async_vol import AsyncVOL
+    from repro.workloads import VPICConfig, vpic_program
+
+    machine = _MACHINES["testbed"]()
+    nranks = 4
+    config = VPICConfig(particles_per_rank=1 << 14, steps=2,
+                        compute_seconds=1.0)
+    engine = Engine()
+    rpn = machine.default_ranks_per_node
+    cluster = Cluster(engine, machine, math.ceil(nranks / rpn))
+    lib = H5Library(cluster)
+    vol = AsyncVOL()
+    job = MPIJob(cluster, nranks)
+    results = job.run(vpic_program(lib, vol, config))
+    lines = [f"app_time {max(results)!r}"]
+    for r in vol.log.records:
+        lines.append(
+            f"{r.op} r{r.rank} ph{r.phase} {r.dataset} {r.nbytes!r} "
+            f"submit={r.t_submit!r} unblocked={r.t_unblocked!r} "
+            f"complete={r.t_complete!r}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_check(args) -> int:
+    from repro.check import all_rules, lint_paths, render_findings
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  [{rule.scope:4s}]  {rule.title}")
+            print(f"       fix: {rule.hint}")
+        return 0
+
+    paths = args.paths or [p for p in ("src", "tests")
+                           if pathlib.Path(p).exists()]
+    if not paths:
+        raise SystemExit("no paths to check (run from the repo root, or "
+                         "pass files/directories explicitly)")
+    findings = lint_paths(paths)
+    print(render_findings(findings))
+    exit_code = 1 if findings else 0
+
+    if args.runtime:
+        from repro.check import RuntimeChecker
+
+        if args.runtime == "fig3a":
+            def make() -> str:
+                return _FIGURE_MAKERS["fig3a"]("quick").to_text()
+        else:
+            make = _runtime_smoke_text
+        print(f"runtime gate ({args.runtime}): baseline run ...")
+        baseline = make()
+        print(f"runtime gate ({args.runtime}): checked run ...")
+        checker = RuntimeChecker()
+        with checker.installed():
+            checked = make()
+        rt_findings = checker.report()
+        identical = baseline == checked
+        print(f"runtime gate: output byte-identical with checker "
+              f"installed: {'yes' if identical else 'NO'}")
+        if rt_findings:
+            for f in rt_findings:
+                print(f"  {f.format()}")
+        print(f"runtime gate: {len(rt_findings)} finding"
+              f"{'s' if len(rt_findings) != 1 else ''}")
+        if rt_findings or not identical:
+            exit_code = 1
+    return exit_code
+
+
 def _cmd_run(args) -> int:
     machine = _MACHINES[args.machine]()
     program_factory, config_factory, prepopulate_factory, op = (
@@ -344,6 +434,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched.add_argument("--size-scale", type=float, default=4.0,
                          help="job I/O size multiplier")
     p_sched.set_defaults(func=_cmd_sched)
+
+    p_check = sub.add_parser(
+        "check",
+        help="static analysis (determinism/error/hygiene rules) and the "
+             "opt-in runtime race/leak detector",
+    )
+    p_check.add_argument("paths", nargs="*",
+                         help="files or directories (default: src tests)")
+    p_check.add_argument("--list-rules", action="store_true",
+                         help="list registered rules and exit")
+    p_check.add_argument("--runtime", choices=["smoke", "fig3a"],
+                         default=None,
+                         help="also run the runtime checker gate: the "
+                              "pipeline must stay byte-identical under "
+                              "instrumentation with zero race/leak findings")
+    p_check.set_defaults(func=_cmd_check)
     return parser
 
 

@@ -50,6 +50,7 @@ from typing import TYPE_CHECKING, Deque, Generator, Optional
 
 import numpy as np
 
+from repro.check import hooks as _check_hooks
 from repro.sim.engine import AllOf, Engine, SimEvent
 from repro.sim.primitives import Queue
 from repro.faults.errors import (
@@ -91,6 +92,9 @@ class Reservation:
         #: cancelled waiter ends in ``"cancelled"`` and can never be
         #: granted space afterwards.
         self.state = "waiting"
+        ck = _check_hooks.checker
+        if ck is not None:
+            ck.on_reservation(self)
 
     @property
     def held(self) -> bool:
@@ -142,10 +146,19 @@ class StagingBuffer:
                 f"capacity {self.capacity:.3g}B"
             )
         res = Reservation(self, nbytes)
+        ck = _check_hooks.checker
         if not self._waiters and self.used + nbytes <= self.capacity:
+            if ck is not None:
+                # Direct grant: order after the release that freed the
+                # space this reservation is taking.
+                ck.on_acquire(self)
             self.used += nbytes
             res.state = "held"
             return res
+        if ck is not None:
+            # Publish the waiter's clock so the releaser that later
+            # admits it (in _admit) is ordered after this enqueue.
+            ck.on_release(self)
         ev = self.engine.event(name=f"{self.name}.reserve")
         self._waiters.append((res, ev))
         if timeout is None:
@@ -176,6 +189,9 @@ class StagingBuffer:
                 f"{self.name}: over-release of {nbytes:.3g}B "
                 f"(only {self.used:.3g}B reserved)"
             )
+        ck = _check_hooks.checker
+        if ck is not None:
+            ck.on_release(self)
         self.used = max(0.0, self.used - nbytes)
         self._admit()
 
@@ -193,6 +209,12 @@ class StagingBuffer:
             pass
 
     def _admit(self) -> None:
+        if self._waiters:
+            ck = _check_hooks.checker
+            if ck is not None:
+                # The admitting context inherits every enqueued waiter's
+                # published clock before granting.
+                ck.on_acquire(self)
         while self._waiters:
             res, ev = self._waiters[0]
             if self.used + res.nbytes > self.capacity:

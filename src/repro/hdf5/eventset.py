@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Generator
 
+from repro.check import hooks as _check_hooks
 from repro.sim.engine import AllOf, Engine, SimEvent
 
 __all__ = ["EventSet"]
@@ -34,6 +35,9 @@ class EventSet:
         self._errors: list[tuple[int, BaseException]] = []
         #: Total operations ever inserted (H5ESget_op_counter analogue).
         self.op_counter = 0
+        ck = _check_hooks.checker
+        if ck is not None:
+            ck.on_eventset(self)
 
     def add(self, event: SimEvent) -> None:
         """Insert one operation's completion event."""
@@ -67,6 +71,7 @@ class EventSet:
         """Move triggered events out of the pending list, recording
         failures; returns the still-pending remainder."""
         still = []
+        ck = _check_hooks.checker
         for idx, ev in self._pending:
             # An event succeed()ed with a delay is *triggered* now but
             # completes (dispatches) later — it is still pending.
@@ -74,6 +79,10 @@ class EventSet:
                 still.append((idx, ev))
             elif ev._exc is not None:
                 self._errors.append((idx, ev._exc))
+                if ck is not None:
+                    # The failure is now recorded in the set's error
+                    # accounting — it was not silently swallowed.
+                    ck.on_error_observed(ev)
         self._pending = still
         return still
 

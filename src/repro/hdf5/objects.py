@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Generator, Optional
 
 import numpy as np
 
+from repro.check import hooks as _check_hooks
 from repro.hdf5.attributes import AttributeSet
 from repro.hdf5.dataspace import Hyperslab
 from repro.hdf5.types import Datatype
@@ -105,6 +106,10 @@ class StoredDataset:
 
     def apply_write(self, selection: Hyperslab, data: Optional[np.ndarray]) -> None:
         """Commit a completed write: extent tracking + optional payload."""
+        ck = _check_hooks.checker
+        if ck is not None:
+            ck.on_state(self._region_key(selection), write=True,
+                        detail=self._region_detail(selection))
         self.written.append(selection)
         if self.data is not None and data is not None:
             self.data[selection.as_slices()] = np.asarray(
@@ -113,9 +118,21 @@ class StoredDataset:
 
     def read_payload(self, selection: Hyperslab) -> Optional[np.ndarray]:
         """Materialized data for ``selection`` (None for perf-only datasets)."""
+        ck = _check_hooks.checker
+        if ck is not None:
+            ck.on_state(self._region_key(selection), write=False,
+                        detail=self._region_detail(selection))
         if self.data is None:
             return None
         return np.array(self.data[selection.as_slices()])
+
+    def _region_key(self, selection: Hyperslab) -> tuple:
+        """Runtime-checker access key: one region of one dataset object."""
+        return (id(self), selection.start, selection.count)
+
+    def _region_detail(self, selection: Hyperslab) -> str:
+        return (f"{self.file.path}:{self.path}"
+                f"[{selection.start}+{selection.count}]")
 
     def coverage_1d(self) -> float:
         """Fraction of a 1-D dataset's extent covered by completed writes."""

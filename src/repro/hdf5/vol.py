@@ -60,6 +60,18 @@ class VOLConnector(abc.ABC):
     def file_close(self, ctx: "RankContext", stored: "StoredFile") -> Generator:
         """Flush then release this rank's handle."""
 
+    def finalize(self, ctx: "RankContext") -> Generator:
+        """Per-rank connector teardown, called once at the end of a rank
+        program (the ``H5close``/``MPI_Finalize`` point).
+
+        The synchronous connector has nothing to tear down, so the base
+        implementation is a free no-op.  The async connector overrides
+        this to drain outstanding operations, shut down its background
+        worker streams and charge the paper's ``t_term`` (Eq. 1 counts
+        ``t_term`` in ``t_app``)."""
+        return
+        yield  # pragma: no cover - unreachable; marks this as a generator
+
     # -- dataset data path -----------------------------------------------------
     @abc.abstractmethod
     def dataset_write(

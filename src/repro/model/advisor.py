@@ -82,7 +82,7 @@ class Advisor:
         margin: float = 0.0,
         fallback: Mode = Mode.SYNC,
         min_r2: float = 0.0,
-    ):
+    ) -> None:
         if margin < 0:
             raise ValueError(f"margin must be non-negative, got {margin}")
         if not 0.0 <= min_r2 <= 1.0:
@@ -162,7 +162,7 @@ class AdaptiveVOL(VOLConnector):
         advisor: Advisor,
         nranks: int,
         log: Optional[IOLog] = None,
-    ):
+    ) -> None:
         shared_log = log if log is not None else sync_vol.log
         super().__init__(shared_log)
         sync_vol.log = shared_log
@@ -201,7 +201,7 @@ class AdaptiveVOL(VOLConnector):
         ctx: "RankContext",
         stored: "StoredDataset",
         selection: Hyperslab,
-        data,
+        data: Optional[np.ndarray],
         phase: Optional[int],
         es: Optional["EventSet"],
         from_gpu: bool = False,

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 __all__ = ["LinearLeastSquares", "pearson_r2", "r2_score"]
 
@@ -39,18 +40,19 @@ class LinearLeastSquares:
         intercept *is* the per-op setup cost).
     """
 
-    def __init__(self, transform: str = "linear", intercept: bool = False):
+    def __init__(self, transform: str = "linear",
+                 intercept: bool = False) -> None:
         if transform not in _TRANSFORMS:
             raise ValueError(
                 f"transform must be one of {_TRANSFORMS}, got {transform!r}"
             )
         self.transform = transform
         self.intercept = intercept
-        self.beta: Optional[np.ndarray] = None
+        self.beta: Optional[NDArray[np.float64]] = None
         self._r2: Optional[float] = None
 
     # ------------------------------------------------------------------
-    def _design(self, X: np.ndarray) -> np.ndarray:
+    def _design(self, X: ArrayLike) -> NDArray[np.float64]:
         X = np.atleast_2d(np.asarray(X, dtype=float))
         if X.ndim != 2:
             raise ValueError(f"X must be 2-D, got shape {X.shape}")
@@ -62,7 +64,7 @@ class LinearLeastSquares:
             X = np.hstack([X, np.ones((X.shape[0], 1))])
         return X
 
-    def fit(self, X, y) -> "LinearLeastSquares":
+    def fit(self, X: ArrayLike, y: ArrayLike) -> "LinearLeastSquares":
         """Solve ``β = (XᵀX)⁻¹XᵀY`` (via lstsq for numerical stability)."""
         y = np.asarray(y, dtype=float).ravel()
         D = self._design(X)
@@ -78,7 +80,7 @@ class LinearLeastSquares:
         self._r2 = r2_score(y, D @ self.beta)
         return self
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: ArrayLike) -> NDArray[np.float64]:
         """Predicted responses for feature rows ``X``."""
         if self.beta is None:
             raise RuntimeError("predict() before fit()")
@@ -98,7 +100,7 @@ class LinearLeastSquares:
         )
 
 
-def r2_score(y_true, y_pred) -> float:
+def r2_score(y_true: ArrayLike, y_pred: ArrayLike) -> float:
     """Standard coefficient of determination ``1 - SS_res/SS_tot``.
 
     Equals Eq. 5's ``Cov(X,Y)²/(Var(X)Var(Y))`` for a simple linear fit
@@ -116,7 +118,7 @@ def r2_score(y_true, y_pred) -> float:
     return 1.0 - ss_res / ss_tot
 
 
-def pearson_r2(x, y) -> float:
+def pearson_r2(x: ArrayLike, y: ArrayLike) -> float:
     """Eq. 5 verbatim: ``Cov(X,Y)² / (Var(X)·Var(Y))`` for 1-D data."""
     x = np.asarray(x, dtype=float).ravel()
     y = np.asarray(y, dtype=float).ravel()

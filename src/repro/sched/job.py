@@ -19,12 +19,17 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from repro.sim.engine import Interrupted
+
 __all__ = ["JobKilled", "JobRecord", "JobSpec", "JobState"]
 
 
-class JobKilled(Exception):
-    """Raised inside a job's rank processes when the scheduler kills it
-    (walltime exceeded).  ``job_id`` identifies the casualty."""
+class JobKilled(Interrupted):
+    """Thrown into a job's rank processes when the scheduler kills it
+    (walltime exceeded).  Deriving from the engine's
+    :class:`~repro.sim.engine.Interrupted` keeps it inside the typed
+    taxonomy: it *is* the scancel interrupt, delivered via
+    ``Process.interrupt``.  ``job_id`` identifies the casualty."""
 
     def __init__(self, job_id: int, reason: str = "walltime exceeded"):
         super().__init__(f"job {job_id} killed: {reason}")

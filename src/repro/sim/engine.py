@@ -24,6 +24,8 @@ import heapq
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.check import hooks as _check_hooks
+
 __all__ = [
     "AllOf",
     "AnyOf",
@@ -131,6 +133,10 @@ class SimEvent:
         "_triggered",
         "_processed",
         "name",
+        # Vector-clock snapshot slot for the opt-in runtime checker
+        # (repro.check.runtime).  Never assigned unless a checker is
+        # installed, so the uninstrumented cost is zero.
+        "_clock",
     )
 
     def __init__(self, engine: "Engine", name: str = ""):
@@ -163,6 +169,9 @@ class SimEvent:
             raise SimulationError(f"event {self.name!r} triggered twice")
         self._triggered = True
         self._value = value
+        ck = _check_hooks.checker
+        if ck is not None:
+            ck.on_trigger(self)
         self.engine.schedule(delay, self._dispatch)
         return self
 
@@ -172,6 +181,9 @@ class SimEvent:
             raise SimulationError(f"event {self.name!r} triggered twice")
         self._triggered = True
         self._exc = exc
+        ck = _check_hooks.checker
+        if ck is not None:
+            ck.on_trigger(self)
         self.engine.schedule(delay, self._dispatch)
         return self
 
@@ -306,7 +318,10 @@ class Process:
     process joins the failing process, in which case they propagate there.
     """
 
-    __slots__ = ("engine", "generator", "done", "name", "_started", "_waiting")
+    # ``_vc`` is the runtime checker's per-process vector clock; like
+    # ``SimEvent._clock`` it stays unassigned unless a checker is live.
+    __slots__ = ("engine", "generator", "done", "name", "_started",
+                 "_waiting", "_vc")
 
     def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
         self.engine = engine
@@ -319,6 +334,9 @@ class Process:
         #: old waitable fires later, its callback no longer matches
         #: ``_waiting`` and is dropped.
         self._waiting: Optional[SimEvent] = None
+        ck = _check_hooks.checker
+        if ck is not None:
+            ck.on_spawn(self)
         engine.schedule(0.0, self._resume, None, None)
 
     @property
@@ -363,27 +381,35 @@ class Process:
         if done._triggered:
             return
         self._started = True
+        ck = _check_hooks.checker
+        if ck is not None:
+            ck.on_resume(self)
         try:
-            if exc is not None:
-                waitable = self.generator.throw(exc)
+            try:
+                if exc is not None:
+                    waitable = self.generator.throw(exc)
+                else:
+                    waitable = self.generator.send(value)
+            except StopIteration as stop:
+                done.succeed(stop.value)
+                return
+            except BaseException as err:  # noqa: BLE001 - propagate to joiners
+                if done.callbacks:
+                    done.fail(err)
+                else:
+                    raise
+                return
+            # Inlined SimEvent._wait — this is the hottest subscription
+            # site.
+            event = waitable._as_event(self.engine)
+            self._waiting = event
+            if event._processed:
+                self.engine.schedule(0.0, self._on_event, event)
             else:
-                waitable = self.generator.send(value)
-        except StopIteration as stop:
-            done.succeed(stop.value)
-            return
-        except BaseException as err:  # noqa: BLE001 - propagate to joiners
-            if done.callbacks:
-                done.fail(err)
-            else:
-                raise
-            return
-        # Inlined SimEvent._wait — this is the hottest subscription site.
-        event = waitable._as_event(self.engine)
-        self._waiting = event
-        if event._processed:
-            self.engine.schedule(0.0, self._on_event, event)
-        else:
-            event.callbacks.append(self._on_event)
+                event.callbacks.append(self._on_event)
+        finally:
+            if ck is not None:
+                ck.on_suspend(self)
 
     def _on_event(self, event: SimEvent) -> None:
         if event is not self._waiting:
@@ -391,6 +417,9 @@ class Process:
             # blocked on this event and has moved on (or died).
             return
         self._waiting = None
+        ck = _check_hooks.checker
+        if ck is not None:
+            ck.on_wakeup(self, event)
         self._resume(event._value, event._exc)
 
     # Waitable protocol -------------------------------------------------
@@ -570,6 +599,9 @@ class Engine:
                 self._now = time
                 entry[3](*entry[4])
                 stats.events += 1
+            ck = _check_hooks.checker
+            if ck is not None:
+                ck.on_drained(self)
             return self._now
         while ready or heap:
             if ready and (not heap or ready[0] <= heap[0]):
@@ -592,6 +624,9 @@ class Engine:
             self._now = time
             entry[3](*entry[4])
             stats.events += 1
+        ck = _check_hooks.checker
+        if ck is not None:
+            ck.on_drained(self)
         return self._now
 
     def run_process(self, generator: Generator, name: str = "") -> Any:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Generator
 
+from repro.check import hooks as _check_hooks
 from repro.sim.engine import Engine, SimEvent
 
 __all__ = ["Barrier", "Mutex", "Queue", "Semaphore"]
@@ -55,6 +56,11 @@ class Semaphore:
         ev = self.engine.event(name=f"{self.name}.acquire")
         if self._in_use < self.capacity:
             self._in_use += 1
+            ck = _check_hooks.checker
+            if ck is not None:
+                # Direct grant: the permit may have been freed by an
+                # earlier release; inherit that release's clock.
+                ck.on_acquire(self)
             ev.succeed()
         else:
             self._waiters.append(ev)
@@ -79,6 +85,9 @@ class Semaphore:
         """Release a held permit, waking the oldest waiter if any."""
         if self._in_use <= 0:
             raise RuntimeError(f"semaphore {self.name!r} released when not held")
+        ck = _check_hooks.checker
+        if ck is not None:
+            ck.on_release(self)
         if self._waiters:
             # Hand the permit directly to the next waiter.
             self._waiters.popleft().succeed()
@@ -120,6 +129,11 @@ class Queue:
         """Enqueue ``item``, waking the oldest blocked getter if any."""
         if self._closed:
             raise RuntimeError(f"put on closed queue {self.name!r}")
+        ck = _check_hooks.checker
+        if ck is not None:
+            # Publish the producer's clock: whoever receives this item
+            # (immediate get or pop_if) happens-after this put.
+            ck.on_release(self)
         if self._getters:
             self._getters.popleft().succeed(item)
         else:
@@ -132,6 +146,10 @@ class Queue:
         :data:`Queue.CLOSED`, which consumers use as a shutdown signal.
         """
         ev = self.engine.event(name=f"{self.name}.get")
+        if self._items or self._closed:
+            ck = _check_hooks.checker
+            if ck is not None:
+                ck.on_acquire(self)
         if self._items:
             ev.succeed(self._items.popleft())
         elif self._closed:
@@ -160,11 +178,18 @@ class Queue:
         the async VOL's write-merging) without blocking.
         """
         if self._items and predicate(self._items[0]):
+            ck = _check_hooks.checker
+            if ck is not None:
+                ck.on_acquire(self)
             return self._items.popleft()
         return None
 
     def close(self) -> None:
         """Close the queue: pending and future gets receive ``CLOSED``."""
+        ck = _check_hooks.checker
+        if ck is not None:
+            # Future closed-queue gets happen-after the close.
+            ck.on_release(self)
         self._closed = True
         while self._getters:
             self._getters.popleft().succeed(Queue.CLOSED)
@@ -211,6 +236,12 @@ class Barrier:
                 f"{self.parties} parties"
             )
         event = self._event
+        ck = _check_hooks.checker
+        if ck is not None:
+            # Every arrival publishes its clock; the last arriver joins
+            # them all before triggering, so the release event's snapshot
+            # carries every party's history.
+            ck.on_release(self)
         if self._arrived == self.parties:
             generation = self._generation
             self._generation += 1
@@ -218,6 +249,8 @@ class Barrier:
             self._event = self.engine.event(
                 name=f"{self.name}.gen{self._generation}"
             )
+            if ck is not None:
+                ck.on_acquire(self)
             event.succeed(generation)
         return event
 

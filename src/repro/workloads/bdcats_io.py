@@ -80,6 +80,7 @@ def bdcats_program(lib: H5Library, vol: VOLConnector, config: BDCATSConfig):
                 )
             yield ctx.compute(config.compute_seconds)
         yield from f.close()
+        yield from vol.finalize(ctx)
         return ctx.now
 
     return program

@@ -84,6 +84,7 @@ def castro_program(lib: H5Library, vol: VOLConnector, config: CastroConfig):
             )
         yield from es.wait()
         yield from f.close()
+        yield from vol.finalize(ctx)
         return ctx.now
 
     return program

@@ -106,6 +106,7 @@ def cosmoflow_program(lib: H5Library, vol: VOLConnector, config: CosmoflowConfig
                 yield from ctx.comm.allreduce(0.0, rank=ctx.rank)
                 phase += 1
         yield from f.close()
+        yield from vol.finalize(ctx)
         return ctx.now
 
     return program

@@ -101,6 +101,7 @@ def nyx_program(lib: H5Library, vol: VOLConnector, config: NyxConfig):
             )
         yield from es.wait()
         yield from f.close()
+        yield from vol.finalize(ctx)
         return ctx.now
 
     return program

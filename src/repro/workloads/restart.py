@@ -85,6 +85,7 @@ def restart_program(lib: H5Library, vol: VOLConnector, config: RestartConfig):
                                   phase=k, es=es)
         yield from es.wait()
         yield from f.close()
+        yield from vol.finalize(ctx)
         return (restart_seconds, ctx.now)
 
     return program

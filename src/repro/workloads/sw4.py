@@ -82,6 +82,7 @@ def sw4_program(lib: H5Library, vol: VOLConnector, config: SW4Config):
                 )
         yield from es.wait()
         yield from f.close()
+        yield from vol.finalize(ctx)
         return ctx.now
 
     return program

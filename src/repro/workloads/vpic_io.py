@@ -72,6 +72,7 @@ def vpic_program(lib: H5Library, vol: VOLConnector, config: VPICConfig):
                 )
         yield from es.wait()
         yield from f.close()
+        yield from vol.finalize(ctx)
         return ctx.now
 
     return program
