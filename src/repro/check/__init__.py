@@ -30,6 +30,8 @@ from typing import Any
 
 from repro.check.lint import (
     Finding,
+    findings_to_json,
+    findings_to_sarif,
     lint_paths,
     lint_source,
     render_findings,
@@ -42,6 +44,8 @@ __all__ = [
     "RuntimeChecker",
     "RuntimeFinding",
     "all_rules",
+    "findings_to_json",
+    "findings_to_sarif",
     "lint_paths",
     "lint_source",
     "render_findings",

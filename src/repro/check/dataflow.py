@@ -1,0 +1,73 @@
+"""Worklist fixpoint solver for forward dataflow over :mod:`~repro.check.cfg`.
+
+An analysis supplies an initial environment for the function entry and
+a *pure* transfer function per CFG node; :func:`solve` iterates to a
+fixpoint and returns the environment *reaching* each node (its IN
+state).  Termination is guaranteed by the bounded-height domains in
+:mod:`repro.check.domains` (per-variable powersets of a finite
+alphabet); a generous iteration cap turns any future unbounded domain
+into a loud :class:`FixpointDiverged` instead of a hang.
+
+Rules built on this are two-phase: solve first (transfer must not
+report), then walk the nodes once and emit findings from the reaching
+states — revisits during iteration therefore never duplicate findings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict
+
+from repro.check.cfg import CFG, CFGNode
+from repro.check.domains import Env
+
+__all__ = ["FixpointDiverged", "ForwardAnalysis", "solve"]
+
+
+class FixpointDiverged(RuntimeError):
+    """The worklist exceeded its iteration budget (unbounded domain?)."""
+
+
+class ForwardAnalysis:
+    """Base class for forward analyses; subclasses override both hooks."""
+
+    def initial(self, cfg: CFG) -> Env:
+        """Environment at the function entry (parameter seeding etc.)."""
+        return Env()
+
+    def transfer(self, cfg: CFG, node: CFGNode, env: Env) -> Env:
+        """OUT state of ``node`` given its IN state.  Must be pure."""
+        raise NotImplementedError
+
+
+def solve(cfg: CFG, analysis: ForwardAnalysis) -> Dict[int, Env]:
+    """IN state per reachable node index (unreachable nodes absent)."""
+    in_states: Dict[int, Env] = {cfg.entry: analysis.initial(cfg)}
+    worklist: deque[int] = deque([cfg.entry])
+    queued = {cfg.entry}
+    # Height of the lattice is O(vars x |alphabet|); every pop either
+    # grows some IN state or leaves the graph untouched, so this cap is
+    # far above any converging run.
+    budget = max(2048, len(cfg.nodes) * 256)
+    steps = 0
+    while worklist:
+        steps += 1
+        if steps > budget:
+            raise FixpointDiverged(
+                f"fixpoint exceeded {budget} steps on CFG with "
+                f"{len(cfg.nodes)} nodes")
+        index = worklist.popleft()
+        queued.discard(index)
+        node = cfg.nodes[index]
+        out = analysis.transfer(cfg, node, in_states[index])
+        for succ in node.succs:
+            if succ in in_states:
+                merged = in_states[succ].join(out)
+            else:
+                merged = out
+            if succ not in in_states or merged != in_states[succ]:
+                in_states[succ] = merged
+                if succ not in queued:
+                    worklist.append(succ)
+                    queued.add(succ)
+    return in_states

@@ -15,6 +15,7 @@ reported too (RC002), so stale directives cannot rot silently.
 from __future__ import annotations
 
 import ast
+import json
 import pathlib
 import re
 from dataclasses import dataclass
@@ -22,7 +23,8 @@ from typing import Iterable, Sequence, Union
 
 from repro.check.rules import RULES, LintContext
 
-__all__ = ["Finding", "lint_paths", "lint_source", "render_findings"]
+__all__ = ["Finding", "findings_to_json", "findings_to_sarif",
+           "lint_paths", "lint_source", "render_findings"]
 
 
 @dataclass(frozen=True)
@@ -117,8 +119,14 @@ def _suppressed_at(directives: list[_Directive], lines: Sequence[str],
     return False
 
 
-def lint_source(source: str, path: str = "<string>") -> list[Finding]:
-    """Lint one file's source text; ``path`` drives rule scoping."""
+def lint_source(source: str, path: str = "<string>",
+                flow: bool = False) -> list[Finding]:
+    """Lint one file's source text; ``path`` drives rule scoping.
+
+    ``flow=True`` additionally runs the flow-sensitive tier (RC4xx
+    typestate, RC5xx units) — CFG construction plus a fixpoint per
+    function, so it costs more than the flat tier and is opt-in.
+    """
     path = pathlib.PurePath(path).as_posix()
     lines = source.splitlines()
     try:
@@ -132,6 +140,8 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     ctx = LintContext(path=path, tree=tree, source=source, lines=lines)
     for rule_id in sorted(RULES):
         rule = RULES[rule_id]
+        if rule.tier == "flow" and not flow:
+            continue
         if not rule.applies(ctx):
             continue
         for line, col, message in rule.check(ctx):
@@ -157,15 +167,95 @@ def _iter_python_files(paths: Iterable[Union[str, pathlib.Path]]
     return files
 
 
-def lint_paths(paths: Iterable[Union[str, pathlib.Path]]) -> list[Finding]:
+def lint_paths(paths: Iterable[Union[str, pathlib.Path]],
+               flow: bool = False) -> list[Finding]:
     """Lint every ``*.py`` file under ``paths`` (files or directories)."""
     findings: list[Finding] = []
     for file_path in _iter_python_files(paths):
         findings.extend(
             lint_source(file_path.read_text(encoding="utf-8"),
-                        path=str(file_path))
+                        path=str(file_path), flow=flow)
         )
     return findings
+
+
+def findings_to_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable findings: a stable JSON document for CI."""
+    return json.dumps({
+        "tool": "repro check",
+        "count": len(findings),
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "rule_id": f.rule_id,
+                "message": f.message,
+                "hint": f.hint,
+            }
+            for f in findings
+        ],
+    }, indent=2, sort_keys=False)
+
+
+def findings_to_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 document (GitHub code-scanning annotations).
+
+    Rule metadata comes from the registry; the meta rules (RC000-RC002)
+    are included so suppression-hygiene findings annotate too.
+    """
+    rule_ids = sorted(set(RULES) | set(_META_HINTS))
+    rules = []
+    for rule_id in rule_ids:
+        rule = RULES.get(rule_id)
+        if rule is not None:
+            description = rule.title
+            help_text = rule.hint
+        else:
+            description = "repro check meta finding"
+            help_text = _META_HINTS[rule_id]
+        rules.append({
+            "id": rule_id,
+            "shortDescription": {"text": description},
+            "help": {"text": help_text},
+        })
+    index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = [
+        {
+            "ruleId": f.rule_id,
+            "ruleIndex": index[f.rule_id],
+            "level": "error",
+            "message": {"text": f"{f.message} (hint: {f.hint})"},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": f.line,
+                        "startColumn": f.col + 1,
+                    },
+                },
+            }],
+        }
+        for f in findings
+    ]
+    return json.dumps({
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-check",
+                    "informationUri": "https://example.invalid/repro",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }, indent=2)
 
 
 def render_findings(findings: Sequence[Finding]) -> str:

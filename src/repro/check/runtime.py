@@ -77,7 +77,7 @@ class _Clock:
 
     __slots__ = ("pid", "tick", "vec", "frozen")
 
-    def __init__(self, pid: int, parent_vec: Optional[dict] = None):
+    def __init__(self, pid: int, parent_vec: Optional[dict] = None) -> None:
         self.pid = pid
         self.tick = 0
         self.vec: dict[int, int] = dict(parent_vec) if parent_vec else {}

@@ -301,11 +301,18 @@ def _runtime_smoke_text() -> str:
 
 
 def _cmd_check(args) -> int:
-    from repro.check import all_rules, lint_paths, render_findings
+    from repro.check import (
+        all_rules,
+        findings_to_json,
+        findings_to_sarif,
+        lint_paths,
+        render_findings,
+    )
 
     if args.list_rules:
         for rule in all_rules():
-            print(f"{rule.id}  [{rule.scope:4s}]  {rule.title}")
+            print(f"{rule.id}  [{rule.scope:4s}|{rule.tier:4s}]  "
+                  f"{rule.title}")
             print(f"       fix: {rule.hint}")
         return 0
 
@@ -314,8 +321,13 @@ def _cmd_check(args) -> int:
     if not paths:
         raise SystemExit("no paths to check (run from the repo root, or "
                          "pass files/directories explicitly)")
-    findings = lint_paths(paths)
-    print(render_findings(findings))
+    findings = lint_paths(paths, flow=args.flow)
+    if args.format == "json":
+        print(findings_to_json(findings))
+    elif args.format == "sarif":
+        print(findings_to_sarif(findings))
+    else:
+        print(render_findings(findings))
     exit_code = 1 if findings else 0
 
     if args.runtime:
@@ -444,6 +456,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="files or directories (default: src tests)")
     p_check.add_argument("--list-rules", action="store_true",
                          help="list registered rules and exit")
+    p_check.add_argument("--flow", action="store_true",
+                         help="also run the flow-sensitive tier (RC4xx "
+                              "async-API typestate, RC5xx unit "
+                              "consistency): CFG + fixpoint per function")
+    p_check.add_argument("--format", choices=["text", "json", "sarif"],
+                         default="text",
+                         help="findings output format (json/sarif for CI "
+                              "machine consumption)")
     p_check.add_argument("--runtime", choices=["smoke", "fig3a"],
                          default=None,
                          help="also run the runtime checker gate: the "

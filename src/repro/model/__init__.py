@@ -44,12 +44,15 @@ from repro.model.microbench import (
     gpu_transfer_microbench,
     memcpy_microbench,
 )
+from repro.model.units import Bytes, Dimensionless, Rate, Seconds
 
 __all__ = [
     "AdaptiveVOL",
     "Advisor",
+    "Bytes",
     "ComputeTimeModel",
     "Decision",
+    "Dimensionless",
     "EpochCosts",
     "IORateModel",
     "IORateSample",
@@ -57,7 +60,9 @@ __all__ = [
     "LinearLeastSquares",
     "MeasurementHistory",
     "Mode",
+    "Rate",
     "Scenario",
+    "Seconds",
     "TransactOverheadModel",
     "app_time",
     "async_epoch_time",

@@ -25,6 +25,8 @@ import enum
 from dataclasses import dataclass
 from typing import Iterable, Sequence, Union
 
+from repro.model.units import Bytes, Rate, Seconds
+
 __all__ = [
     "EpochCosts",
     "Scenario",
@@ -49,16 +51,16 @@ class Scenario(enum.Enum):
 class EpochCosts:
     """The three per-epoch costs of the model."""
 
-    t_comp: float
-    t_io: float
-    t_transact: float = 0.0
+    t_comp: Seconds
+    t_io: Seconds
+    t_transact: Seconds = 0.0
 
     def __post_init__(self) -> None:
         if min(self.t_comp, self.t_io, self.t_transact) < 0:
             raise ValueError(f"negative epoch cost in {self}")
 
 
-def io_time(data_size: float, io_rate: float) -> float:
+def io_time(data_size: Bytes, io_rate: Rate) -> Seconds:
     """Eq. 3: ``t_io = data_size / f_io_rate``."""
     if data_size < 0:
         raise ValueError(f"negative data size: {data_size}")
@@ -67,12 +69,12 @@ def io_time(data_size: float, io_rate: float) -> float:
     return data_size / io_rate
 
 
-def sync_epoch_time(costs: EpochCosts) -> float:
+def sync_epoch_time(costs: EpochCosts) -> Seconds:
     """Eq. 2a: computation stalls for the full I/O phase."""
     return costs.t_io + costs.t_comp
 
 
-def async_epoch_time(costs: EpochCosts) -> float:
+def async_epoch_time(costs: EpochCosts) -> Seconds:
     """Eq. 2b: overlapped I/O plus the transactional overhead."""
     return max(costs.t_comp, costs.t_io - costs.t_comp) + costs.t_transact
 
@@ -94,10 +96,10 @@ def classify_scenario(costs: EpochCosts) -> Scenario:
 def app_time(
     epochs: Union[Sequence[EpochCosts], Iterable[EpochCosts]],
     mode: str,
-    t_init: float = 0.0,
-    t_term: float = 0.0,
+    t_init: Seconds = 0.0,
+    t_term: Seconds = 0.0,
     include_final_drain: bool = False,
-) -> float:
+) -> Seconds:
     """Eq. 1: total application time under ``mode`` ('sync' | 'async').
 
     Follows the paper exactly: ``t_app = t_init + Σ t_epoch + t_term``

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.model.history import MeasurementHistory
 from repro.model.regression import LinearLeastSquares
+from repro.model.units import Bytes, Rate, Seconds
 from repro.platform.memory import BandwidthCurve, MemcpySpec
 
 __all__ = ["ComputeTimeModel", "IORateModel", "LinearTrendComputeModel",
@@ -35,14 +36,14 @@ class ComputeTimeModel:
     observations carry more weight (decay factor per observation).
     """
 
-    def __init__(self, decay: float = 0.7):
+    def __init__(self, decay: float = 0.7) -> None:
         if not 0.0 < decay <= 1.0:
             raise ValueError(f"decay must be in (0,1], got {decay}")
         self.decay = decay
         self._value: Optional[float] = None
         self.n_observations = 0
 
-    def observe(self, t_comp: float) -> None:
+    def observe(self, t_comp: Seconds) -> None:
         """Record one measured computation phase."""
         if t_comp < 0:
             raise ValueError(f"negative compute time: {t_comp}")
@@ -52,7 +53,7 @@ class ComputeTimeModel:
             self._value = self.decay * t_comp + (1.0 - self.decay) * self._value
         self.n_observations += 1
 
-    def estimate(self) -> float:
+    def estimate(self) -> Seconds:
         """Predicted next computation time."""
         if self._value is None:
             raise RuntimeError("no compute-time observations yet")
@@ -75,14 +76,14 @@ class LinearTrendComputeModel:
     Falls back to the plain mean until two observations exist.
     """
 
-    def __init__(self, window: int = 16):
+    def __init__(self, window: int = 16) -> None:
         if window < 2:
             raise ValueError(f"window must be >= 2, got {window}")
         self.window = window
         self._times: list[float] = []
         self.n_observations = 0
 
-    def observe(self, t_comp: float) -> None:
+    def observe(self, t_comp: Seconds) -> None:
         """Record one measured computation phase."""
         if t_comp < 0:
             raise ValueError(f"negative compute time: {t_comp}")
@@ -96,7 +97,7 @@ class LinearTrendComputeModel:
         """Whether at least one observation exists."""
         return bool(self._times)
 
-    def estimate(self) -> float:
+    def estimate(self) -> Seconds:
         """Extrapolated next computation time (clamped at >= 0)."""
         if not self._times:
             raise RuntimeError("no compute-time observations yet")
@@ -161,7 +162,7 @@ class TransactOverheadModel:
         """Oracle variant from a node's memcpy specification."""
         return cls.from_curve(spec.per_copy)
 
-    def estimate(self, nbytes: float) -> float:
+    def estimate(self, nbytes: Bytes) -> Seconds:
         """Predicted blocking copy time for one ``nbytes`` request."""
         if self.peak is None or self.setup is None:
             raise RuntimeError("estimate() before fitting")
@@ -169,7 +170,7 @@ class TransactOverheadModel:
             raise ValueError(f"negative size: {nbytes}")
         return nbytes / self.peak + self.setup
 
-    def bandwidth(self, nbytes: float) -> float:
+    def bandwidth(self, nbytes: Bytes) -> Rate:
         """Effective copy bandwidth for one ``nbytes`` request."""
         t = self.estimate(nbytes)
         if t <= 0.0:
@@ -186,7 +187,7 @@ class IORateModel:
     """
 
     def __init__(self, history: MeasurementHistory, mode: str = "sync",
-                 op: Optional[str] = None, min_samples: int = 3):
+                 op: Optional[str] = None, min_samples: int = 3) -> None:
         if mode not in ("sync", "async"):
             raise ValueError(f"bad mode {mode!r}")
         if min_samples < 2:
@@ -236,13 +237,14 @@ class IORateModel:
             raise RuntimeError("transform before refit()")
         return self._fit.transform
 
-    def estimate_rate(self, data_size: float, nranks: int) -> float:
+    def estimate_rate(self, data_size: Bytes, nranks: int) -> Rate:
         """Predicted aggregate I/O rate (bytes/second), floored at >0."""
         if self._fit is None:
             self.refit()
+        assert self._fit is not None
         rate = float(self._fit.predict([[data_size, float(nranks)]])[0])
         return max(rate, 1.0)
 
-    def estimate_time(self, data_size: float, nranks: int) -> float:
+    def estimate_time(self, data_size: Bytes, nranks: int) -> Seconds:
         """Eq. 3: predicted I/O time for the request."""
         return data_size / self.estimate_rate(data_size, nranks)

@@ -14,6 +14,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.model.units import Bytes, Rate
+
 __all__ = ["IORateSample", "MeasurementHistory"]
 
 
@@ -21,9 +23,9 @@ __all__ = ["IORateSample", "MeasurementHistory"]
 class IORateSample:
     """One past I/O request: the regression's (features, response) row."""
 
-    data_size: float  # total bytes moved by the request across ranks
+    data_size: Bytes  # total bytes moved by the request across ranks
     nranks: int
-    io_rate: float  # aggregate bytes/second observed
+    io_rate: Rate  # aggregate bytes/second observed
     mode: str = "sync"  # 'sync' | 'async'
     op: str = "write"  # 'write' | 'read'
 
@@ -43,7 +45,7 @@ class IORateSample:
 class MeasurementHistory:
     """Append-only store of :class:`IORateSample` with matrix views."""
 
-    def __init__(self, max_samples: Optional[int] = None):
+    def __init__(self, max_samples: Optional[int] = None) -> None:
         if max_samples is not None and max_samples < 1:
             raise ValueError("max_samples must be >= 1")
         self.max_samples = max_samples
@@ -58,7 +60,7 @@ class MeasurementHistory:
         if self.max_samples is not None and len(self._samples) > self.max_samples:
             del self._samples[0]
 
-    def record(self, data_size: float, nranks: int, io_rate: float,
+    def record(self, data_size: Bytes, nranks: int, io_rate: Rate,
                mode: str = "sync", op: str = "write") -> None:
         """Convenience constructor + :meth:`add`."""
         self.add(IORateSample(data_size, nranks, io_rate, mode=mode, op=op))
@@ -83,9 +85,9 @@ class MeasurementHistory:
         Y = np.array([s.io_rate for s in samples])
         return X, Y
 
-    def best_rate(self, data_size: float, nranks: int,
+    def best_rate(self, data_size: Bytes, nranks: int,
                   mode: Optional[str] = None, op: Optional[str] = None,
-                  rel_tol: float = 0.25) -> Optional[float]:
+                  rel_tol: float = 0.25) -> Optional[Rate]:
         """Best observed rate at (approximately) this configuration.
 
         The paper models "the ideal case performance (i.e., the maximum

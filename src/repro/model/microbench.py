@@ -10,8 +10,9 @@ machine and returns (size, time, bandwidth) samples, from which
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Generator, Sequence
 
+from repro.model.units import Bytes, Rate, Seconds
 from repro.sim.engine import Engine
 from repro.platform.cluster import Cluster
 from repro.platform.spec import MachineSpec
@@ -28,9 +29,9 @@ DEFAULT_SIZES = tuple(2**k * MiB for k in range(0, 10))
 class MicrobenchSample:
     """One measured copy: request size, elapsed time, effective rate."""
 
-    nbytes: float
-    seconds: float
-    bandwidth: float
+    nbytes: Bytes
+    seconds: Seconds
+    bandwidth: Rate
 
 
 def memcpy_microbench(
@@ -61,7 +62,7 @@ def _sweep(machine: MachineSpec, sizes: Sequence[float], kind: str,
         cluster = Cluster(engine, machine, nodes=1)
         node = cluster.nodes[0]
 
-        def copy_once():
+        def copy_once() -> Generator[Any, Any, float]:
             t0 = engine.now
             if kind == "memcpy":
                 flow = cluster.memcpy(node, nbytes)

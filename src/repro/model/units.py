@@ -1,0 +1,31 @@
+"""Unit-carrying type aliases for the performance model (Eqs. 1-5).
+
+The paper's model mixes three physical dimensions — data sizes in
+bytes, times in seconds and I/O rates in bytes/second (Eq. 3 is
+``t_io = data_size / f_io_rate``).  These :data:`typing.Annotated`
+aliases document which is which on the :mod:`repro.model` public
+surface, and the ``repro check --flow`` unit rules (RC501-RC503) read
+them to seed their dimension inference: a parameter annotated
+``Bytes`` *is* bytes to the checker, no naming heuristic needed.
+
+At runtime every alias is plain ``float`` — annotations add no
+overhead and no import cycles (this module is stdlib-only).
+"""
+
+from __future__ import annotations
+
+from typing import Annotated
+
+__all__ = ["Bytes", "Dimensionless", "Rate", "Seconds"]
+
+#: A data size in bytes (aggregate or per rank; context says which).
+Bytes = Annotated[float, "bytes"]
+
+#: A duration or timestamp in simulated seconds.
+Seconds = Annotated[float, "seconds"]
+
+#: An I/O or copy rate in bytes per second.
+Rate = Annotated[float, "rate"]
+
+#: A pure number (counts, ratios, r-squared values, efficiencies).
+Dimensionless = Annotated[float, "dimless"]

@@ -42,7 +42,25 @@ def test_registry_has_all_rule_bands():
     assert set(RULES) == {
         "RC101", "RC102", "RC201", "RC202", "RC203",
         "RC301", "RC302", "RC303",
+        "RC401", "RC402", "RC403", "RC404",
+        "RC501", "RC502", "RC503",
     }
+
+
+def test_flow_rules_are_flow_tier_and_flat_default_skips_them():
+    flow_ids = {r.id for r in all_rules() if r.tier == "flow"}
+    assert flow_ids == {"RC401", "RC402", "RC403", "RC404",
+                        "RC501", "RC502", "RC503"}
+    # The flat tier (default) must not run flow rules: this source is a
+    # blatant RC401 violation yet lints clean without flow=True.
+    source = (
+        "def prog(ctx, lib, vol):\n"
+        "    es = EventSet(ctx.engine)\n"
+        "    es.add(ctx.engine.event())\n"
+        "    return ctx.now\n"
+    )
+    assert lint_source(source, SIM_PATH) == []
+    assert rule_ids(lint_source(source, SIM_PATH, flow=True)) == ["RC401"]
 
 
 def test_all_rules_have_metadata_and_stable_order():
@@ -449,6 +467,7 @@ def test_rt202_undrained_eventset():
     eng = Engine()
     checker = RuntimeChecker()
     with checker.installed():
+        # repro-check: disable=RC401 (deliberate leak: RT202 fixture)
         es = EventSet(eng, name="es0")
         es.add(eng.event(name="op"))  # never triggered, never waited
         eng.run()

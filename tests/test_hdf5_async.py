@@ -106,10 +106,12 @@ def test_async_write_blocks_only_for_staging_copy():
     def program(ctx):
         f = yield from lib.create(ctx, "/aw.h5", vol)
         d = f.create_dataset("/d", shape=(n_elems,), dtype=FLOAT64)
+        # repro-check: disable=RC401 (deliberate: close-side drain is under test)
         es = EventSet(ctx.engine)
         t0 = ctx.now
         yield from d.write(es=es, phase=0)
         blocked = ctx.now - t0
+        # repro-check: disable=RC401 (deliberate: close() must drain the un-waited op)
         yield from f.close()
         return blocked, ctx.now
 
@@ -288,6 +290,7 @@ def test_staging_backpressure_limits_inflight_bytes():
             d = f.create_dataset(f"/d{i}", shape=(n_elems,), dtype=FLOAT64)
             yield from d.write(es=es, phase=0)
         blocked = ctx.now - t0
+        yield from es.wait()
         yield from f.close()
         return blocked
 

@@ -218,6 +218,7 @@ def test_closed_handle_rejected():
     def program(ctx):
         f = yield from lib.create(ctx, "/closed.h5", vol)
         yield from f.close()
+        # repro-check: disable=RC403 (deliberate: closed-handle rejection under test)
         f.create_dataset("/late", shape=(1,), dtype=FLOAT32)
 
     with pytest.raises(RuntimeError, match="already closed"):
