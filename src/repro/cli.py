@@ -32,6 +32,14 @@ Commands
 
         python -m repro sched --policy all --jobs 25 --load 2 4
 
+``sweep``
+    Fan a declarative (machine × mode × scale × seed) grid across
+    worker processes and write one merged JSON artifact — byte
+    identical for every ``--workers`` value::
+
+        python -m repro sweep --workload vpic --scales 8 16 \\
+            --seeds 0 1 2 3 --workers 4 --out sweep.json
+
 ``check``
     Static analysis + optional runtime checking (the repo's own
     invariants: determinism, typed errors, hygiene)::
@@ -158,6 +166,11 @@ def _cmd_list(_args) -> int:
     for fid in _MICROBENCH_IDS:
         doc = (_FIGURE_MAKERS[fid].__doc__ or "").strip().splitlines()[0]
         print(f"  {fid:{width}s}  {doc}")
+    print()
+    print("sweepable grids (for 'sweep'; also via 'run'/'sched' --seeds):")
+    from repro.harness.sweepengine import sweepable_grids
+    for name, desc in sweepable_grids():
+        print(f"  {name:{width}s}  {desc}")
     return 0
 
 
@@ -230,6 +243,14 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _sweep_progress(done: int, total: int, point: dict) -> None:
+    status = ("ok" if point["ok"]
+              else f"FAILED[{point['error']['kind']}]")
+    print(f"  [{done}/{total}] {point['machine']}/{point['mode']}/"
+          f"{point['scale']:g} seed={point['seed']} {status}",
+          file=sys.stderr)
+
+
 def _cmd_sched(args) -> int:
     from repro.harness.report import FigureData
     from repro.harness.sched import run_fleet, sched_testbed
@@ -239,29 +260,100 @@ def _cmd_sched(args) -> int:
                else _MACHINES[args.machine]())
     policies = (["fifo", "backfill", "io-aware"] if args.policy == "all"
                 else [args.policy])
+    seeds = args.seeds if args.seeds else [args.seed]
     fig = FigureData(
         name="sched",
-        title=f"{args.jobs} jobs/stream on {machine.name}, seed {args.seed} "
-              f"(loads = mean interarrival s)",
-        columns=["load", "policy", "done", "t/o", "async", "jobs/h",
+        title=f"{args.jobs} jobs/stream on {machine.name}, "
+              f"seeds {seeds} (loads = mean interarrival s)",
+        columns=["load", "policy", "seed", "done", "t/o", "async", "jobs/h",
                  "wait p95", "compl p50", "compl p95", "compl p99",
                  "makespan", "PFS util"],
     )
-    for load in args.load:
-        cfg = StreamConfig(
-            n_jobs=args.jobs, seed=args.seed, mean_interarrival=load,
-            rank_choices=(8, 16, 32), size_scale=args.size_scale,
+
+    def add_row(load, policy, seed, m) -> None:
+        fig.add_row(
+            load, policy, seed, m["completed"], m["timeouts"], m["n_async"],
+            m["goodput_jobs_per_hour"], m["wait_p95"], m["completion_p50"],
+            m["completion_p95"], m["completion_p99"], m["makespan"],
+            m["pfs_utilization"],
         )
-        for policy in policies:
-            m = run_fleet(machine, cfg, policy)
-            fig.add_row(
-                load, policy, m.completed, m.timeouts, m.n_async,
-                m.goodput_jobs_per_hour, m.wait_p95, m.completion_p50,
-                m.completion_p95, m.completion_p99, m.makespan,
-                m.pfs_utilization,
-            )
+
+    if args.seeds and args.workers > 1:
+        # Grid mode: fan (policy x load x seed) across worker processes.
+        from repro.harness.sweepengine import SweepSpec, run_sweep
+
+        spec = SweepSpec(
+            kind="sched", workload="sched",
+            machines=(args.machine,), modes=tuple(policies),
+            scales=tuple(args.load), seeds=tuple(seeds), jobs=args.jobs,
+        )
+        outcome = run_sweep(spec, workers=args.workers,
+                            progress=_sweep_progress)
+        for p in outcome.merged["points"]:
+            if not p["ok"]:
+                print(f"  point {p['index']} failed: "
+                      f"{p['error']['kind']}: {p['error']['message']}",
+                      file=sys.stderr)
+                continue
+            add_row(p["scale"], p["mode"], p["seed"], p["metrics"])
+    else:
+        from dataclasses import asdict
+
+        for load in args.load:
+            for policy in policies:
+                for seed in seeds:
+                    cfg = StreamConfig(
+                        n_jobs=args.jobs, seed=seed, mean_interarrival=load,
+                        rank_choices=(8, 16, 32),
+                        size_scale=args.size_scale,
+                    )
+                    add_row(load, policy, seed,
+                            asdict(run_fleet(machine, cfg, policy)))
     print(fig.to_text())
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.harness.sweepengine import (
+        SweepSpec, merged_sweep_points, run_sweep,
+    )
+
+    if args.kind == "sched":
+        modes = tuple(args.policies)
+        scales = tuple(args.loads)
+    else:
+        _workload_entry(args.workload)  # validate early
+        modes = tuple(args.modes)
+        scales = tuple(float(s) for s in args.scales)
+    spec = SweepSpec(
+        kind=args.kind, workload=args.workload,
+        machines=tuple(args.machines), modes=modes, scales=scales,
+        seeds=tuple(args.seeds), jobs=args.jobs,
+    )
+    print(f"sweep: {spec.describe()} = "
+          f"{len(args.machines) * len(modes) * len(scales) * len(args.seeds)}"
+          f" points on {args.workers} worker(s)", file=sys.stderr)
+    outcome = run_sweep(spec, workers=args.workers,
+                        progress=_sweep_progress if not args.quiet else None)
+    points = outcome.merged["points"]
+    failed = [p for p in points if not p["ok"]]
+    print(f"{len(points)} points in {outcome.elapsed:.2f}s "
+          f"({outcome.points_per_sec:.2f} points/s, "
+          f"{args.workers} worker(s)); {len(failed)} failed")
+    for p in failed:
+        print(f"  FAILED point {p['index']} "
+              f"({p['machine']}/{p['mode']}/{p['scale']:g} seed={p['seed']}): "
+              f"[{p['error']['family']}] {p['error']['kind']}: "
+              f"{p['error']['message']}")
+    if args.kind == "workload":
+        for sp in merged_sweep_points(outcome.merged):
+            print(f"  {sp.mode:6s} ranks={sp.nranks:<6d} "
+                  f"peak={sp.peak_gbs:.2f} GB/s over {len(sp.all_peaks)} "
+                  f"seed(s)")
+    if args.out:
+        pathlib.Path(args.out).write_text(outcome.to_json())
+        print(f"merged artifact -> {args.out}")
+    return 1 if failed else 0
 
 
 def _runtime_smoke_text() -> str:
@@ -359,6 +451,35 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    if args.seeds:
+        # Seed-grid mode: the same experiment across contention days,
+        # fanned over worker processes; prints the paper's plotted
+        # best-of-days reduction.
+        from repro.harness.sweepengine import (
+            SweepSpec, merged_sweep_points, run_sweep,
+        )
+
+        _workload_entry(args.workload)  # validate early
+        spec = SweepSpec(
+            kind="workload", workload=args.workload,
+            machines=(args.machine,), modes=(args.mode,),
+            scales=(float(args.ranks),), seeds=tuple(args.seeds),
+        )
+        outcome = run_sweep(spec, workers=args.workers,
+                            progress=_sweep_progress)
+        for p in outcome.merged["points"]:
+            if p["ok"]:
+                m = p["metrics"]
+                print(f"seed {p['seed']:<4d} peak "
+                      f"{m['peak_bandwidth'] / 1e9:.2f} GB/s  app_time "
+                      f"{m['app_time']:.2f} s")
+            else:
+                print(f"seed {p['seed']:<4d} FAILED "
+                      f"[{p['error']['family']}] {p['error']['kind']}")
+        for sp in merged_sweep_points(outcome.merged):
+            print(f"best of {len(sp.all_peaks)} seed(s): "
+                  f"{sp.peak_gbs:.2f} GB/s ({sp.mode}, {sp.nranks} ranks)")
+        return 0
     machine = _MACHINES[args.machine]()
     program_factory, config_factory, prepopulate_factory, op = (
         _workload_entry(args.workload)
@@ -416,6 +537,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--machine", choices=sorted(_MACHINES), default="summit")
     p_run.add_argument("--mode", choices=["sync", "async"], default="sync")
     p_run.add_argument("--ranks", type=int, default=96)
+    p_run.add_argument("--seeds", type=int, nargs="+", default=None,
+                       help="run a seed grid (contention days) instead of "
+                            "one experiment")
+    p_run.add_argument("--workers", type=int, default=1,
+                       help="worker processes for --seeds grids")
     p_run.set_defaults(func=_cmd_run)
 
     p_prof = sub.add_parser("profile",
@@ -445,7 +571,46 @@ def build_parser() -> argparse.ArgumentParser:
                          help="mean interarrival gap(s) in seconds")
     p_sched.add_argument("--size-scale", type=float, default=4.0,
                          help="job I/O size multiplier")
+    p_sched.add_argument("--seeds", type=int, nargs="+", default=None,
+                         help="run every (policy, load) under each seed "
+                              "(overrides --seed)")
+    p_sched.add_argument("--workers", type=int, default=1,
+                         help="worker processes for --seeds grids")
     p_sched.set_defaults(func=_cmd_sched)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="fan a (machine x mode x scale x seed) grid across worker "
+             "processes; merged JSON is byte-identical for every "
+             "--workers value",
+    )
+    p_sweep.add_argument("--kind", choices=["workload", "sched"],
+                         default="workload")
+    p_sweep.add_argument("--workload", default="vpic",
+                         help="workload name (kind=workload); see 'list'")
+    p_sweep.add_argument("--machines", nargs="+", default=["testbed"],
+                         help="machine names (sched-testbed allowed for "
+                              "kind=sched)")
+    p_sweep.add_argument("--modes", nargs="+", default=["sync", "async"],
+                         help="VOL modes (kind=workload)")
+    p_sweep.add_argument("--policies", nargs="+",
+                         default=["fifo", "backfill", "io-aware"],
+                         help="scheduler policies (kind=sched)")
+    p_sweep.add_argument("--scales", type=float, nargs="+", default=[8],
+                         help="rank counts (kind=workload)")
+    p_sweep.add_argument("--loads", type=float, nargs="+", default=[2.0],
+                         help="mean interarrival gaps (kind=sched)")
+    p_sweep.add_argument("--seeds", type=int, nargs="+", default=[0],
+                         help="per-point seeds (contention day / job "
+                              "stream)")
+    p_sweep.add_argument("--jobs", type=int, default=12,
+                         help="jobs per stream (kind=sched)")
+    p_sweep.add_argument("--workers", type=int, default=1)
+    p_sweep.add_argument("--out", default=None,
+                         help="write the merged JSON artifact here")
+    p_sweep.add_argument("--quiet", action="store_true",
+                         help="suppress per-point progress on stderr")
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_check = sub.add_parser(
         "check",

@@ -1,0 +1,343 @@
+"""Process-parallel sweep engine: declarative grids → merged JSON.
+
+The paper's variability claims (§V-A.1, Fig. 8) rest on many cheap,
+reproducible runs — "each configuration at least 5 times across
+multiple days".  :mod:`repro.harness.sweep` models one such grid
+in-process; this module turns a declarative (machine × mode × scale ×
+seed) grid into independent tasks, fans them across
+``multiprocessing`` workers, and merges the results into a JSON
+artifact that is **byte-identical for every worker count** — so a
+4-worker sweep can be diffed against a 1-worker run (or yesterday's
+artifact) with ``cmp``.
+
+Design rules that make that guarantee hold:
+
+- Every task is a pure function of its :class:`SweepTask` (the
+  simulator is deterministic; per-task seeds are carried explicitly in
+  the task, never drawn from process-global state).
+- Workers return plain dicts; the merger sorts by task index, so
+  arrival order — the only thing worker count changes — is erased.
+- Wall-clock timing lives only on the :class:`SweepOutcome` (for
+  scaling reports), never inside the merged artifact.
+
+Crash isolation reuses the :mod:`repro.faults` taxonomy: a task that
+raises a :class:`~repro.faults.FaultError` records that class name with
+family ``"fault"``; any other exception is recorded with family
+``"crash"`` — morally a :class:`~repro.faults.WorkerCrashError`: the
+worker died, the sweep survives, the point is marked failed.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.faults import FaultError
+from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.sweep import SweepPoint, best_by_config
+from repro.platform import ContentionModel
+
+__all__ = [
+    "PointResult",
+    "SweepOutcome",
+    "SweepSpec",
+    "SweepTask",
+    "expand_grid",
+    "merged_results",
+    "merged_sweep_points",
+    "run_sweep",
+    "sweepable_grids",
+]
+
+#: Progress callback: ``(done_count, total, point_dict)``.
+ProgressFn = Callable[[int, int, dict], None]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep grid.
+
+    ``kind`` selects the task runner:
+
+    - ``"workload"`` — one :func:`~repro.harness.experiment.
+      run_experiment` per point; ``modes`` are VOL modes
+      (``sync``/``async``), ``scales`` are rank counts, and each seed
+      selects a contention *day* (the paper's run-to-run variability).
+    - ``"sched"`` — one :func:`~repro.harness.sched.run_fleet` per
+      point; ``modes`` are scheduler policies, ``scales`` are mean
+      interarrival gaps (load), and each seed selects the job stream.
+    """
+
+    kind: str = "workload"
+    workload: str = "vpic"
+    machines: tuple[str, ...] = ("testbed",)
+    modes: tuple[str, ...] = ("sync", "async")
+    scales: tuple[float, ...] = (8,)
+    seeds: tuple[int, ...] = (0,)
+    #: Jobs per stream (``kind="sched"`` only).
+    jobs: int = 12
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("workload", "sched"):
+            raise ValueError(
+                f"kind must be 'workload' or 'sched', got {self.kind!r}"
+            )
+
+    def describe(self) -> str:
+        axes = (
+            f"{len(self.machines)} machine(s) x {len(self.modes)} "
+            f"{'policy' if self.kind == 'sched' else 'mode'}(s) x "
+            f"{len(self.scales)} scale(s) x {len(self.seeds)} seed(s)"
+        )
+        return f"{self.kind}:{self.workload} {axes}"
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One grid point — everything a worker needs, explicitly seeded."""
+
+    index: int
+    kind: str
+    workload: str
+    machine: str
+    mode: str
+    scale: float
+    seed: int
+    jobs: int
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Typed view of one merged point (see :func:`merged_results`)."""
+
+    index: int
+    ok: bool
+    error: Optional[dict]
+    metrics: Optional[dict]
+    task: SweepTask
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """A finished sweep: the mergeable artifact plus run telemetry.
+
+    ``merged`` is the deterministic artifact (identical for every
+    worker count); ``elapsed``/``workers`` describe *this* execution
+    and stay out of it.
+    """
+
+    merged: dict
+    elapsed: float
+    workers: int
+
+    @property
+    def points_per_sec(self) -> float:
+        n = len(self.merged["points"])
+        return n / self.elapsed if self.elapsed > 0 else float("inf")
+
+    def to_json(self) -> str:
+        """The canonical artifact encoding (sorted keys, 2-space indent)."""
+        return json.dumps(self.merged, indent=2, sort_keys=True) + "\n"
+
+
+def expand_grid(spec: SweepSpec) -> list[SweepTask]:
+    """Enumerate the grid in canonical (machine, mode, scale, seed) order."""
+    tasks: list[SweepTask] = []
+    index = 0
+    for machine in spec.machines:
+        for mode in spec.modes:
+            for scale in spec.scales:
+                for seed in spec.seeds:
+                    tasks.append(SweepTask(
+                        index=index, kind=spec.kind, workload=spec.workload,
+                        machine=machine, mode=mode, scale=scale, seed=seed,
+                        jobs=spec.jobs,
+                    ))
+                    index += 1
+    return tasks
+
+
+def _machine_spec(name: str):
+    from repro.harness.sched import sched_testbed
+    from repro.platform import cori_haswell, summit, testbed
+
+    table = {
+        "summit": summit,
+        "cori": cori_haswell,
+        "cori-haswell": cori_haswell,
+        "testbed": testbed,
+        "sched-testbed": sched_testbed,
+    }
+    if name not in table:
+        raise ValueError(
+            f"unknown machine {name!r}; choose from {sorted(table)}"
+        )
+    return table[name]()
+
+
+def _run_workload_point(task: SweepTask) -> dict:
+    from repro.cli import _workload_entry
+
+    machine = _machine_spec(task.machine)
+    program_factory, config_factory, prepopulate_factory, op = (
+        _workload_entry(task.workload)
+    )
+    config = config_factory()
+    prepopulate = (
+        prepopulate_factory(config) if prepopulate_factory is not None
+        else None
+    )
+    result = run_experiment(
+        machine, task.workload, program_factory, config, mode=task.mode,
+        nranks=int(task.scale), day=task.seed,
+        contention=ContentionModel(seed=0), prepopulate=prepopulate, op=op,
+    )
+    return asdict(result)
+
+
+def _run_sched_point(task: SweepTask) -> dict:
+    from repro.harness.sched import run_fleet
+    from repro.sched import StreamConfig
+
+    machine = _machine_spec(task.machine)
+    cfg = StreamConfig(
+        n_jobs=task.jobs, seed=task.seed, mean_interarrival=task.scale,
+        rank_choices=(4, 8, 16),
+    )
+    metrics = run_fleet(machine, cfg, task.mode)
+    return asdict(metrics)
+
+
+def run_point(task: SweepTask) -> dict:
+    """Run one grid point with crash isolation; never raises.
+
+    The returned dict is JSON-ready.  Failures are recorded, not
+    propagated: fault-taxonomy errors keep their class name (family
+    ``"fault"``), everything else is a worker crash (family
+    ``"crash"``).
+    """
+    point = {
+        "index": task.index,
+        "kind": task.kind,
+        "workload": task.workload,
+        "machine": task.machine,
+        "mode": task.mode,
+        "scale": task.scale,
+        "seed": task.seed,
+        "ok": False,
+        "error": None,
+        "metrics": None,
+    }
+    try:
+        if task.kind == "sched":
+            point["metrics"] = _run_sched_point(task)
+        else:
+            point["metrics"] = _run_workload_point(task)
+        point["ok"] = True
+    except FaultError as exc:
+        point["error"] = {
+            "family": "fault",
+            "kind": type(exc).__name__,
+            "message": str(exc),
+        }
+    except Exception as exc:
+        point["error"] = {
+            "family": "crash",
+            "kind": type(exc).__name__,
+            "message": str(exc),
+        }
+    return point
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    progress: Optional[ProgressFn] = None,
+) -> SweepOutcome:
+    """Run the whole grid; returns the merged artifact plus telemetry.
+
+    ``workers > 1`` fans points across a ``multiprocessing`` pool
+    (chunk size 1, unordered collection — stragglers never serialize
+    the queue).  The merged artifact is sorted by task index, so it is
+    byte-identical for every worker count.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    tasks = expand_grid(spec)
+    total = len(tasks)
+    points: list[dict] = []
+    t0 = time.perf_counter()
+    if workers == 1 or total <= 1:
+        for task in tasks:
+            point = run_point(task)
+            points.append(point)
+            if progress is not None:
+                progress(len(points), total, point)
+    else:
+        with multiprocessing.Pool(processes=min(workers, total)) as pool:
+            for point in pool.imap_unordered(run_point, tasks, chunksize=1):
+                points.append(point)
+                if progress is not None:
+                    progress(len(points), total, point)
+    elapsed = time.perf_counter() - t0
+    points.sort(key=lambda p: p["index"])
+    merged = {
+        "schema": "repro-sweep/v1",
+        "spec": asdict(spec),
+        "points": points,
+    }
+    return SweepOutcome(merged=merged, elapsed=elapsed, workers=workers)
+
+
+def merged_results(merged: dict) -> list[PointResult]:
+    """Typed points from a merged artifact (or ``SweepOutcome.merged``)."""
+    spec = merged["spec"]
+    out = []
+    for p in merged["points"]:
+        out.append(PointResult(
+            index=p["index"], ok=p["ok"], error=p["error"],
+            metrics=p["metrics"],
+            task=SweepTask(
+                index=p["index"], kind=p["kind"], workload=p["workload"],
+                machine=p["machine"], mode=p["mode"], scale=p["scale"],
+                seed=p["seed"], jobs=spec["jobs"],
+            ),
+        ))
+    return out
+
+
+def merged_sweep_points(merged: dict) -> list[SweepPoint]:
+    """Reduce a merged *workload* sweep to the paper's plotted points.
+
+    Reconstructs :class:`~repro.harness.experiment.ExperimentResult`
+    rows from the successful points and funnels them through the
+    existing :func:`~repro.harness.sweep.best_by_config`, so downstream
+    figure code consumes engine output unchanged.  Failed points are
+    skipped — a crashed day simply contributes no observation, the
+    same as a lost batch job.
+    """
+    results = []
+    for p in merged["points"]:
+        if p["ok"] and p["kind"] == "workload":
+            results.append(ExperimentResult(**p["metrics"]))
+    return best_by_config(results)
+
+
+def sweepable_grids() -> list[tuple[str, str]]:
+    """(name, description) of the grids ``repro sweep`` can enumerate."""
+    from repro.cli import _workload_table
+
+    grids = [
+        (f"workload:{name}",
+         f"machines x (sync|async) x ranks x seeds — {entry[4]}")
+        for name, entry in sorted(_workload_table().items())
+    ]
+    grids.append((
+        "sched",
+        "machines x (fifo|backfill|io-aware) x loads x seeds — "
+        "multi-tenant job streams",
+    ))
+    return grids

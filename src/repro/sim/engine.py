@@ -189,7 +189,11 @@ class SimEvent:
 
     def _dispatch(self) -> None:
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, []
+        callbacks = self.callbacks
+        # An empty tuple, not a fresh list: nothing appends after
+        # dispatch (late subscribers go through the _wait re-dispatch
+        # path), so the allocation would be pure overhead.
+        self.callbacks = ()
         for cb in callbacks:
             cb(self)
 
@@ -383,7 +387,37 @@ class Process:
         self._started = True
         ck = _check_hooks.checker
         if ck is not None:
-            ck.on_resume(self)
+            # Instrumented path: identical control flow with the
+            # checker's resume/suspend hooks wrapped around it.
+            self._resume_checked(value, exc, ck)
+            return
+        try:
+            if exc is not None:
+                waitable = self.generator.throw(exc)
+            else:
+                waitable = self.generator.send(value)
+        except StopIteration as stop:
+            done.succeed(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate to joiners
+            if done.callbacks:
+                done.fail(err)
+            else:
+                raise
+            return
+        # Inlined SimEvent._wait — this is the hottest subscription
+        # site.
+        event = waitable._as_event(self.engine)
+        self._waiting = event
+        if event._processed:
+            self.engine.schedule(0.0, self._on_event, event)
+        else:
+            event.callbacks.append(self._on_event)
+
+    def _resume_checked(self, value: Any, exc: Optional[BaseException],
+                        ck: Any) -> None:
+        done = self.done
+        ck.on_resume(self)
         try:
             try:
                 if exc is not None:
@@ -399,8 +433,6 @@ class Process:
                 else:
                     raise
                 return
-            # Inlined SimEvent._wait — this is the hottest subscription
-            # site.
             event = waitable._as_event(self.engine)
             self._waiting = event
             if event._processed:
@@ -408,8 +440,7 @@ class Process:
             else:
                 event.callbacks.append(self._on_event)
         finally:
-            if ck is not None:
-                ck.on_suspend(self)
+            ck.on_suspend(self)
 
     def _on_event(self, event: SimEvent) -> None:
         if event is not self._waiting:
@@ -420,7 +451,35 @@ class Process:
         ck = _check_hooks.checker
         if ck is not None:
             ck.on_wakeup(self, event)
-        self._resume(event._value, event._exc)
+            self._resume(event._value, event._exc)
+            return
+        # Unchecked fast path: _resume's body inlined (this is the
+        # hottest call chain in the simulator — one wakeup per flow
+        # completion — and the extra frame was measurable).
+        done = self.done
+        if done._triggered:
+            return
+        self._started = True
+        try:
+            if event._exc is not None:
+                waitable = self.generator.throw(event._exc)
+            else:
+                waitable = self.generator.send(event._value)
+        except StopIteration as stop:
+            done.succeed(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate to joiners
+            if done.callbacks:
+                done.fail(err)
+            else:
+                raise
+            return
+        nxt = waitable._as_event(self.engine)
+        self._waiting = nxt
+        if nxt._processed:
+            self.engine.schedule(0.0, self._on_event, nxt)
+        else:
+            nxt.callbacks.append(self._on_event)
 
     # Waitable protocol -------------------------------------------------
     def _as_event(self, engine: "Engine") -> SimEvent:
@@ -586,7 +645,9 @@ class Engine:
         popleft = ready.popleft
         stats = self.stats
         if until is None:
-            # Common case: no horizon check per event.
+            # Common case: no horizon check per event.  ``now`` mirrors
+            # ``self._now`` locally (callbacks never write the clock).
+            now = self._now
             while ready or heap:
                 if ready and (not heap or ready[0] <= heap[0]):
                     entry = popleft()
@@ -594,9 +655,9 @@ class Engine:
                 else:
                     entry = pop(heap)
                 time = entry[0]
-                if time < self._now - 1e-12:
+                if time < now - 1e-12:
                     raise SimulationError("event heap time reversal")
-                self._now = time
+                self._now = now = time
                 entry[3](*entry[4])
                 stats.events += 1
             ck = _check_hooks.checker
