@@ -30,6 +30,13 @@ A sweep-engine scaling section runs the same declarative grid through
 asserts the merged artifacts are byte-identical, and records
 points/sec per worker count.
 
+A ``fleet_faults_off`` scenario proves the fault-tolerance hooks are
+zero-cost when disabled: one fleet run with **no** injector against
+the same fleet with a zero-fault injector *attached* (callbacks
+registered, no events scheduled).  The two must produce byte-identical
+metrics and per-job records, and the attached side must not be
+measurably slower (same perf-budget gate as the allocator scenarios).
+
 Results land in ``BENCH_sim.json`` at the repository root: wall seconds
 per side, speedup, the :class:`repro.sim.engine.EngineStats` counters,
 and the sweep scaling table.
@@ -205,6 +212,62 @@ def run_sweep_scaling(smoke=False):
     }
 
 
+def run_faults_off_overhead(smoke=False, repeats=1):
+    """Fault hooks must cost nothing when no faults are configured.
+
+    Times :func:`~repro.harness.sched.run_fleet` bare (``ref``) vs with
+    an all-zero :class:`~repro.faults.FaultConfig` attached (``fast`` —
+    the ledger callbacks are registered, the degraded-admission check
+    runs, but no fault events exist).  The metrics must be
+    byte-identical after dropping the injector's own bookkeeping
+    fields, and the attached side is gated against the stored budget
+    floor like any other scenario.
+    """
+    import json as _json
+
+    from repro.faults import FaultConfig
+    from repro.harness.sched import run_fleet, sched_testbed
+    from repro.sched import StreamConfig
+
+    machine = sched_testbed()
+    cfg = StreamConfig(n_jobs=6 if smoke else 12, seed=7,
+                       mean_interarrival=4.0)
+
+    def run_side(fault_config):
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            metrics = run_fleet(machine, cfg, "fifo",
+                                fault_config=fault_config)
+            wall = time.perf_counter() - t0
+        finally:
+            gc.enable()
+        payload = metrics.to_dict()
+        # The only permitted difference: the injector's own bookkeeping.
+        payload.pop("fault_signature")
+        return wall, _json.dumps(payload, sort_keys=True)
+
+    run_side(None)  # warmup: imports and allocator caches off the clock
+    off_wall = bare_wall = None
+    off_json = bare_json = None
+    for _ in range(repeats):
+        wall, off_json = run_side(FaultConfig())
+        if off_wall is None or wall < off_wall:
+            off_wall = wall
+        wall, bare_json = run_side(None)
+        if bare_wall is None or wall < bare_wall:
+            bare_wall = wall
+    return {
+        "name": "fleet_faults_off",
+        "params": {"n_jobs": cfg.n_jobs, "seed": cfg.seed},
+        "fast_s": round(off_wall, 4),
+        "ref_s": round(bare_wall, 4),
+        "speedup": round(bare_wall / off_wall, 2),
+        "identical": off_json == bare_json,
+    }
+
+
 def run_bench(smoke=False, repeats=None, out=DEFAULT_OUT):
     if repeats is None:
         repeats = 1 if smoke else 3
@@ -218,6 +281,13 @@ def run_bench(smoke=False, repeats=None, out=DEFAULT_OUT):
             f"identical={row['identical']}  events={row['events']} "
             f"rebalances={row['rebalances']}"
         )
+    row = run_faults_off_overhead(smoke=smoke, repeats=repeats)
+    results.append(row)
+    print(
+        f"{row['name']:>16}: with-hooks {row['fast_s']:.3f}s "
+        f"bare {row['ref_s']:.3f}s  {row['speedup']:.2f}x  "
+        f"identical={row['identical']}"
+    )
     sweep = run_sweep_scaling(smoke=smoke)
     rates = ", ".join(
         f"{w['workers']}w {w['points_per_sec']:.1f} pt/s"

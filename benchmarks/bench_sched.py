@@ -16,8 +16,24 @@ every run:
   the fleet-scale analogue of the paper's per-application async win
   (and its Fig. 8 variability shield).
 
+A third section runs the same fleets **under chaos** (rate-based node
+crashes via :func:`repro.faults.chaos_config`) and checks the
+fault-tolerance story end to end:
+
+- **checkpointing pays**: restarting crash victims from durable
+  checkpoints yields strictly more goodput and strictly less lost
+  work than restarting from scratch, summed over the chaos seeds;
+- **async checkpointing shrinks lost work**: an all-async fleet loses
+  no more work per seed — and strictly less in aggregate — than the
+  same all-sync fleet under the same crash schedule, because async
+  phases land on the PFS while the next compute phase runs;
+- **chaos replay is deterministic**: a same-seed faulted fleet replays
+  to byte-identical metrics JSON and an identical fault-trace
+  signature.
+
 Results land in ``BENCH_sched.json`` at the repository root: per
-(load, policy) fleet metrics plus per-job records.
+(load, policy) fleet metrics plus per-job records, and the ``faulted``
+section with the chaos rows.
 
 Run standalone (full mode)::
 
@@ -39,6 +55,7 @@ import argparse
 import json
 import pathlib
 
+from repro.faults import chaos_config
 from repro.harness.sched import run_fleet, sched_testbed
 from repro.sched import StreamConfig
 
@@ -48,6 +65,12 @@ DEFAULT_OUT = REPO_ROOT / "BENCH_sched.json"
 SEED = 7
 POLICIES = ("fifo", "backfill", "io-aware")
 LOADS = (2.0, 4.0)  # mean interarrival seconds: high and moderate load
+
+# Chaos section: expected crashes per node per 1000 sim-seconds, the
+# base fault seed, and the stream seeds each crash schedule meets.
+CHAOS_RATE = 10.0
+CHAOS_FAULT_SEED = 3
+CHAOS_SEEDS = (0, 1, 2)
 
 
 def _shape(smoke: bool):
@@ -71,6 +94,114 @@ def _replay_signature(metrics) -> list:
     ]
     return [metrics.makespan, metrics.completion_p95, metrics.wait_p95,
             metrics.goodput_jobs_per_hour, per_job]
+
+
+# ----------------------------------------------------------------------
+# Chaos section: the same fleets under rate-based node crashes
+# ----------------------------------------------------------------------
+def _chaos_fc(seed: int):
+    """One seed's crash schedule (decorrelated across stream seeds)."""
+    return chaos_config(CHAOS_RATE, seed=CHAOS_FAULT_SEED + 7919 * seed)
+
+
+def _fleet_row(metrics, **extra) -> dict:
+    row = metrics.to_dict(with_jobs=False)
+    row.update(extra)
+    return row
+
+
+def run_chaos_bench(machine) -> dict:
+    """The faulted section: checkpointing value, async value, replay.
+
+    Two fleet shapes, chosen so crashes reliably hit running jobs:
+    compute-heavy streams (long phases → big crash cross-section) for
+    the checkpoint-vs-scratch comparison, I/O-heavy streams (phase
+    writes cost seconds → sync durability lags measurably) for the
+    sync-vs-async comparison.
+    """
+    rows = []
+
+    # (a) checkpoint restart vs scratch restart, same crash schedules.
+    ck_goodput = scratch_goodput = 0.0
+    ck_lost = scratch_lost = 0.0
+    for seed in CHAOS_SEEDS:
+        cfg = StreamConfig(n_jobs=12, seed=seed, mean_interarrival=5.0,
+                           compute_scale=6.0)
+        for checkpoint in (True, False):
+            m = run_fleet(machine, cfg, "fifo", fault_config=_chaos_fc(seed),
+                          checkpoint_restart=checkpoint)
+            rows.append(_fleet_row(m, section="checkpoint", chaos_seed=seed))
+            if checkpoint:
+                ck_goodput += m.goodput_jobs_per_hour
+                ck_lost += m.lost_work_seconds
+            else:
+                scratch_goodput += m.goodput_jobs_per_hour
+                scratch_lost += m.lost_work_seconds
+            print(f"chaos ckpt={str(checkpoint):5s} seed={seed} "
+                  f"done={m.completed:2d} kills={m.node_kills} "
+                  f"requeues={m.requeues} lost={m.lost_work_seconds:7.2f} "
+                  f"goodput={m.goodput_jobs_per_hour:6.1f}")
+    checkpoint_wins = (ck_goodput > scratch_goodput
+                      and ck_lost < scratch_lost)
+
+    # (b) all-sync vs all-async checkpointing, same crash schedules.
+    # I/O-heavy phases: each checkpoint write costs seconds, so sync
+    # durability (blocks until landed) trails async (lands during the
+    # next compute phase) by a measurable margin at kill time.
+    sync_lost = async_lost = 0.0
+    async_never_worse = True
+    for seed in CHAOS_SEEDS:
+        per_mode = {}
+        for mode in ("sync", "async"):
+            cfg = StreamConfig(n_jobs=10, seed=seed, mean_interarrival=6.0,
+                               compute_scale=4.0, size_scale=12.0,
+                               mode_mix=((mode, 1.0),))
+            m = run_fleet(machine, cfg, "fifo", fault_config=_chaos_fc(seed),
+                          checkpoint_restart=True)
+            rows.append(_fleet_row(m, section="ckpt-mode", chaos_seed=seed))
+            per_mode[mode] = m
+            print(f"chaos mode={mode:5s} seed={seed} done={m.completed:2d} "
+                  f"kills={m.node_kills} lost={m.lost_work_seconds:7.2f}")
+        sync_lost += per_mode["sync"].lost_work_seconds
+        async_lost += per_mode["async"].lost_work_seconds
+        if (per_mode["async"].lost_work_seconds
+                > per_mode["sync"].lost_work_seconds + 1e-9):
+            async_never_worse = False
+    async_wins = async_never_worse and async_lost < sync_lost
+
+    # (c) same-seed chaos replay: byte-identical metrics + signature.
+    cfg = StreamConfig(n_jobs=12, seed=CHAOS_SEEDS[0],
+                       mean_interarrival=5.0, compute_scale=6.0)
+    first = run_fleet(machine, cfg, "fifo",
+                      fault_config=_chaos_fc(CHAOS_SEEDS[0]))
+    again = run_fleet(machine, cfg, "fifo",
+                      fault_config=_chaos_fc(CHAOS_SEEDS[0]))
+    replay_identical = (
+        json.dumps(first.to_dict(), sort_keys=True)
+        == json.dumps(again.to_dict(), sort_keys=True)
+        and first.fault_signature == again.fault_signature
+        and first.fault_signature != ""
+    )
+
+    print(f"chaos: checkpointing beats scratch restart: {checkpoint_wins}")
+    print(f"chaos: async checkpointing loses less work: {async_wins}")
+    print(f"chaos: same-seed replay byte-identical: {replay_identical}")
+    return {
+        "rate": CHAOS_RATE,
+        "fault_seed": CHAOS_FAULT_SEED,
+        "seeds": list(CHAOS_SEEDS),
+        "checkpoint_goodput": ck_goodput,
+        "scratch_goodput": scratch_goodput,
+        "checkpoint_lost_work": ck_lost,
+        "scratch_lost_work": scratch_lost,
+        "sync_lost_work": sync_lost,
+        "async_lost_work": async_lost,
+        "checkpoint_beats_scratch": checkpoint_wins,
+        "async_loses_less_than_sync": async_wins,
+        "replay_identical": replay_identical,
+        "fault_signature": first.fault_signature,
+        "results": rows,
+    }
 
 
 def run_bench(smoke=False, out=DEFAULT_OUT):
@@ -105,6 +236,7 @@ def run_bench(smoke=False, out=DEFAULT_OUT):
     print(f"deterministic replay: {deterministic}")
     print(f"io-aware beats fifo on p95 completion at every load: "
           f"{io_aware_wins}")
+    faulted = run_chaos_bench(machine)
     payload = {
         "mode": "smoke" if smoke else "full",
         "machine": machine.name,
@@ -114,6 +246,7 @@ def run_bench(smoke=False, out=DEFAULT_OUT):
         "deterministic": deterministic,
         "io_aware_beats_fifo_p95": io_aware_wins,
         "results": rows,
+        "faulted": faulted,
     }
     out = pathlib.Path(out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -149,6 +282,29 @@ def test_sched_deterministic_and_io_aware_wins(tmp_path):
         assert io_aware["rejected"] == 0
 
 
+def test_chaos_fault_tolerance(tmp_path):
+    payload = run_bench(smoke=True, out=tmp_path / "BENCH_sched.json")
+    faulted = payload["faulted"]
+    assert faulted["replay_identical"], "same-seed chaos replay diverged"
+    assert faulted["checkpoint_beats_scratch"], (
+        "checkpoint restart did not beat scratch restart under chaos: "
+        f"goodput {faulted['checkpoint_goodput']:.1f} vs "
+        f"{faulted['scratch_goodput']:.1f}, lost work "
+        f"{faulted['checkpoint_lost_work']:.1f} vs "
+        f"{faulted['scratch_lost_work']:.1f}"
+    )
+    assert faulted["async_loses_less_than_sync"], (
+        "async checkpointing did not lose less work than sync: "
+        f"{faulted['async_lost_work']:.1f} vs "
+        f"{faulted['sync_lost_work']:.1f}"
+    )
+    # Chaos fleets genuinely exercised the fault path.
+    chaos_rows = faulted["results"]
+    assert sum(r["node_kills"] for r in chaos_rows) > 0
+    assert sum(r["requeues"] for r in chaos_rows) > 0
+    assert all(r["fault_signature"] for r in chaos_rows)
+
+
 def test_fig_sched_table(save_figure):
     from repro.harness import figures
 
@@ -180,8 +336,12 @@ def main(argv=None):
     if not out.parent.is_dir():
         parser.error(f"--out directory does not exist: {out.parent}")
     payload = run_bench(smoke=args.smoke, out=out)
-    return 0 if (payload["deterministic"]
-                 and payload["io_aware_beats_fifo_p95"]) else 1
+    faulted = payload["faulted"]
+    ok = (payload["deterministic"] and payload["io_aware_beats_fifo_p95"]
+          and faulted["checkpoint_beats_scratch"]
+          and faulted["async_loses_less_than_sync"]
+          and faulted["replay_identical"])
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -164,5 +164,6 @@ from repro.check.rules import (  # noqa: E402,F401
     determinism,
     errors,
     hygiene,
+    robustness,
     units,
 )

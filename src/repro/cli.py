@@ -171,6 +171,14 @@ def _cmd_list(_args) -> int:
     from repro.harness.sweepengine import sweepable_grids
     for name, desc in sweepable_grids():
         print(f"  {name:{width}s}  {desc}")
+    print()
+    print("fault scenarios (seeded chaos presets; 'sched'/'sweep' "
+          "--fault-rate uses the same rate unit):")
+    from repro.faults import SCENARIOS
+    width_s = max(len(n) for n in SCENARIOS)
+    for name in sorted(SCENARIOS):
+        desc = SCENARIOS[name][0]
+        print(f"  {name:{width_s}s}  {desc}")
     return 0
 
 
@@ -261,22 +269,29 @@ def _cmd_sched(args) -> int:
     policies = (["fifo", "backfill", "io-aware"] if args.policy == "all"
                 else [args.policy])
     seeds = args.seeds if args.seeds else [args.seed]
-    fig = FigureData(
-        name="sched",
-        title=f"{args.jobs} jobs/stream on {machine.name}, "
-              f"seeds {seeds} (loads = mean interarrival s)",
-        columns=["load", "policy", "seed", "done", "t/o", "async", "jobs/h",
-                 "wait p95", "compl p50", "compl p95", "compl p99",
-                 "makespan", "PFS util"],
-    )
+    chaos = args.fault_rate > 0.0
+    title = (f"{args.jobs} jobs/stream on {machine.name}, "
+             f"seeds {seeds} (loads = mean interarrival s)")
+    columns = ["load", "policy", "seed", "done", "t/o", "async", "jobs/h",
+               "wait p95", "compl p50", "compl p95", "compl p99",
+               "makespan", "PFS util"]
+    if chaos:
+        title += (f"; chaos rate {args.fault_rate:g} crash/node/1000s, "
+                  f"fault seed {args.fault_seed}, checkpoint-restart "
+                  f"{'off' if args.no_checkpoint else 'on'}")
+        columns += ["kills", "requeue", "lost s"]
+    fig = FigureData(name="sched", title=title, columns=columns)
 
     def add_row(load, policy, seed, m) -> None:
-        fig.add_row(
+        row = [
             load, policy, seed, m["completed"], m["timeouts"], m["n_async"],
             m["goodput_jobs_per_hour"], m["wait_p95"], m["completion_p50"],
             m["completion_p95"], m["completion_p99"], m["makespan"],
             m["pfs_utilization"],
-        )
+        ]
+        if chaos:
+            row += [m["node_kills"], m["requeues"], m["lost_work_seconds"]]
+        fig.add_row(*row)
 
     if args.seeds and args.workers > 1:
         # Grid mode: fan (policy x load x seed) across worker processes.
@@ -286,6 +301,8 @@ def _cmd_sched(args) -> int:
             kind="sched", workload="sched",
             machines=(args.machine,), modes=tuple(policies),
             scales=tuple(args.load), seeds=tuple(seeds), jobs=args.jobs,
+            faults=(args.fault_rate,), fault_seed=args.fault_seed,
+            checkpoint=not args.no_checkpoint,
         )
         outcome = run_sweep(spec, workers=args.workers,
                             progress=_sweep_progress)
@@ -299,6 +316,8 @@ def _cmd_sched(args) -> int:
     else:
         from dataclasses import asdict
 
+        from repro.faults import chaos_config
+
         for load in args.load:
             for policy in policies:
                 for seed in seeds:
@@ -307,8 +326,15 @@ def _cmd_sched(args) -> int:
                         rank_choices=(8, 16, 32),
                         size_scale=args.size_scale,
                     )
+                    fault = chaos_config(
+                        args.fault_rate,
+                        seed=args.fault_seed + 7919 * seed,
+                    )
                     add_row(load, policy, seed,
-                            asdict(run_fleet(machine, cfg, policy)))
+                            asdict(run_fleet(
+                                machine, cfg, policy, fault_config=fault,
+                                checkpoint_restart=not args.no_checkpoint,
+                            )))
     print(fig.to_text())
     return 0
 
@@ -329,9 +355,12 @@ def _cmd_sweep(args) -> int:
         kind=args.kind, workload=args.workload,
         machines=tuple(args.machines), modes=modes, scales=scales,
         seeds=tuple(args.seeds), jobs=args.jobs,
+        faults=tuple(args.faults), fault_seed=args.fault_seed,
+        checkpoint=not args.no_checkpoint,
     )
-    print(f"sweep: {spec.describe()} = "
-          f"{len(args.machines) * len(modes) * len(scales) * len(args.seeds)}"
+    n_points = (len(args.machines) * len(modes) * len(scales)
+                * len(args.faults) * len(args.seeds))
+    print(f"sweep: {spec.describe()} = {n_points}"
           f" points on {args.workers} worker(s)", file=sys.stderr)
     outcome = run_sweep(spec, workers=args.workers,
                         progress=_sweep_progress if not args.quiet else None)
@@ -576,6 +605,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "(overrides --seed)")
     p_sched.add_argument("--workers", type=int, default=1,
                          help="worker processes for --seeds grids")
+    p_sched.add_argument("--fault-rate", type=float, default=0.0,
+                         help="chaos axis: expected node crashes per node "
+                              "per 1000 sim-seconds (0 = off)")
+    p_sched.add_argument("--fault-seed", type=int, default=0,
+                         help="base seed of the crash schedule")
+    p_sched.add_argument("--no-checkpoint", action="store_true",
+                         help="requeued crash victims restart from scratch "
+                              "instead of their last durable checkpoint")
     p_sched.set_defaults(func=_cmd_sched)
 
     p_sweep = sub.add_parser(
@@ -605,6 +642,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "stream)")
     p_sweep.add_argument("--jobs", type=int, default=12,
                          help="jobs per stream (kind=sched)")
+    p_sweep.add_argument("--faults", type=float, nargs="+", default=[0.0],
+                         help="chaos axis (kind=sched): node-crash rates "
+                              "per node per 1000 sim-seconds (0 = off)")
+    p_sweep.add_argument("--fault-seed", type=int, default=0,
+                         help="base seed of the crash schedules")
+    p_sweep.add_argument("--no-checkpoint", action="store_true",
+                         help="requeued crash victims restart from scratch")
     p_sweep.add_argument("--workers", type=int, default=1)
     p_sweep.add_argument("--out", default=None,
                          help="write the merged JSON artifact here")

@@ -11,6 +11,7 @@ from repro.faults.errors import (
     FaultError,
     FlakyReadError,
     FlakyWriteError,
+    NodeFailureError,
     PFSUnavailableError,
     RetryExhaustedError,
     SSDFaultError,
@@ -26,6 +27,12 @@ from repro.faults.injector import (
     OutageWindow,
     SlowdownWindow,
 )
+from repro.faults.scenarios import (
+    SCENARIOS,
+    chaos_config,
+    scenario_config,
+    scenario_names,
+)
 
 __all__ = [
     "FaultConfig",
@@ -34,13 +41,18 @@ __all__ = [
     "FaultInjector",
     "FlakyReadError",
     "FlakyWriteError",
+    "NodeFailureError",
     "OutageWindow",
     "PFSUnavailableError",
     "RetryExhaustedError",
+    "SCENARIOS",
     "SSDFaultError",
     "SlowdownWindow",
     "StagingTimeoutError",
     "TransientIOError",
     "WorkerCrashError",
     "WorkerStallError",
+    "chaos_config",
+    "scenario_config",
+    "scenario_names",
 ]

@@ -13,6 +13,9 @@ fault bites:
     │     ├── ``FlakyWriteError``       (per-op probabilistic write error)
     │     ├── ``FlakyReadError``        (per-op probabilistic read error)
     │     └── ``SSDFaultError``         (node-local drive failed)
+    ├── ``NodeFailureError`` — a whole compute node crashed (not
+    │     retryable in place: the resident job is dead; the scheduler
+    │     requeues it on surviving nodes)
     ├── ``WorkerCrashError``  — a rank's background I/O thread died
     ├── ``WorkerStallError``  — informational: worker paused (GC, OS jitter)
     ├── ``StagingTimeoutError`` — bounded staging reservation expired
@@ -26,6 +29,7 @@ __all__ = [
     "FaultError",
     "FlakyReadError",
     "FlakyWriteError",
+    "NodeFailureError",
     "PFSUnavailableError",
     "RetryExhaustedError",
     "SSDFaultError",
@@ -64,6 +68,20 @@ class FlakyReadError(TransientIOError):
 
 class SSDFaultError(TransientIOError):
     """A node-local staging drive failed."""
+
+
+class NodeFailureError(FaultError):
+    """A whole compute node went down (hardware fault, cabinet power).
+
+    Delivered as the *cause* of the scheduler's kill interrupt, never
+    raised into storage-request paths: a node crash is not an I/O error
+    to retry in place — the job dies and is requeued elsewhere.
+    """
+
+    def __init__(self, message: str, node: int = -1):
+        super().__init__(message)
+        #: Index of the failed node within the cluster allocation.
+        self.node = node
 
 
 class WorkerCrashError(FaultError):

@@ -8,12 +8,18 @@ makes failure a first-class simulated event:
 
 - :class:`FaultConfig` declares a *schedule* of injectable faults:
   PFS outage and degradation windows, per-op flaky write/read errors
-  with configurable probability, per-node SSD failures, and background
-  worker stalls and crashes.
+  with configurable probability, per-node SSD failures, background
+  worker stalls and crashes, and — at fleet scale — whole-node faults:
+  explicit node crash times, drain windows, correlated cabinet
+  failures, and a seeded rate-based crash schedule (exponential
+  inter-failure times per node over a bounded horizon).
 - :class:`FaultInjector` applies the schedule through hooks in
   :mod:`repro.platform.storage` (``fault_hook`` on the PFS and SSDs),
-  :mod:`repro.platform.contention` (a shared fault-timeline recorder)
-  and :mod:`repro.hdf5.async_vol` (worker dispositions, retry jitter).
+  :mod:`repro.platform.contention` (a shared fault-timeline recorder),
+  :mod:`repro.hdf5.async_vol` (worker dispositions, retry jitter) and
+  :mod:`repro.platform.cluster`'s node ledger (``fail_node`` /
+  ``drain_node`` / ``revive_node``), whose ``on_node_down`` callbacks
+  let the scheduler kill and requeue resident jobs.
 
 Everything is deterministic per seed: the same ``(config, workload)``
 pair produces an identical :attr:`FaultInjector.trace` on every run —
@@ -117,6 +123,28 @@ class FaultConfig:
     #: ``(rank, at_task, seconds)``: the worker stalls before task
     #: number ``at_task`` (0-based) for ``seconds``.
     worker_stalls: tuple[tuple[int, int, float], ...] = ()
+    #: ``(node_index, at_time)``: the node hard-crashes at ``at_time``
+    #: — resident jobs die, the ledger marks the node ``DOWN``.
+    node_crashes: tuple[tuple[int, float], ...] = ()
+    #: ``(node_index, start, duration)``: a maintenance drain — the node
+    #: stops taking new work at ``start`` (resident jobs finish
+    #: unharmed) and revives at ``start + duration``.
+    node_drains: tuple[tuple[int, float, float], ...] = ()
+    #: ``(cabinet_index, at_time)``: correlated failure — every node in
+    #: the cabinet (``cabinet_size`` consecutive indices) crashes
+    #: together, the rack-level blast radius of a PDU/cooling fault.
+    cabinet_crashes: tuple[tuple[int, float], ...] = ()
+    #: Nodes per cabinet for ``cabinet_crashes``.
+    cabinet_size: int = 4
+    #: Mean seconds between crashes *per node* (exponential draws from
+    #: the seeded node stream); 0 disables the rate-based schedule.
+    node_mtbf: float = 0.0
+    #: Rate-based crash times are drawn inside ``[0, fault_horizon)``
+    #: only, so the schedule is finite and the drain bounded.
+    fault_horizon: float = 0.0
+    #: Seconds after a crash at which the node revives (0 = stays down
+    #: for the rest of the run).
+    node_repair_time: float = 0.0
 
     def __post_init__(self) -> None:
         for rate, label in ((self.write_error_rate, "write_error_rate"),
@@ -134,12 +162,42 @@ class FaultConfig:
                 raise ValueError(
                     f"invalid worker stall ({rank}, {at_task}, {seconds})"
                 )
+        for node, at in self.node_crashes:
+            if node < 0 or at < 0:
+                raise ValueError(f"invalid node crash ({node}, {at})")
+        for node, start, duration in self.node_drains:
+            if node < 0 or start < 0 or duration <= 0:
+                raise ValueError(
+                    f"invalid node drain ({node}, {start}, {duration})"
+                )
+        for cabinet, at in self.cabinet_crashes:
+            if cabinet < 0 or at < 0:
+                raise ValueError(f"invalid cabinet crash ({cabinet}, {at})")
+        if self.cabinet_size < 1:
+            raise ValueError(f"cabinet_size must be >= 1, got "
+                             f"{self.cabinet_size}")
+        if self.node_mtbf < 0 or self.fault_horizon < 0 \
+                or self.node_repair_time < 0:
+            raise ValueError("node_mtbf / fault_horizon / node_repair_time "
+                             "must be non-negative")
+        if self.node_mtbf > 0 and self.fault_horizon <= 0:
+            raise ValueError(
+                "rate-based node crashes (node_mtbf > 0) need a positive "
+                "fault_horizon to bound the schedule"
+            )
 
     @property
     def any_pfs_faults(self) -> bool:
         """Whether the PFS hook has anything to do at all."""
         return bool(self.write_error_rate or self.read_error_rate
                     or self.pfs_outages)
+
+    @property
+    def any_node_faults(self) -> bool:
+        """Whether any whole-node fault is scheduled."""
+        return bool(self.node_crashes or self.node_drains
+                    or self.cabinet_crashes
+                    or (self.node_mtbf > 0 and self.fault_horizon > 0))
 
 
 @dataclass(frozen=True)
@@ -162,11 +220,14 @@ class FaultInjector:
     def __init__(self, config: Optional[FaultConfig] = None):
         self.config = config if config is not None else FaultConfig()
         self.trace: list[FaultEvent] = []
-        # Purpose-split RNG streams: per-op error draws and retry jitter
-        # must not perturb each other's sequences when one is unused.
+        # Purpose-split RNG streams: per-op error draws, retry jitter
+        # and node-failure times must not perturb each other's
+        # sequences when one is unused.
         self._op_rng = np.random.default_rng((self.config.seed, 0xF1))
         self._retry_rng = np.random.default_rng((self.config.seed, 0xF2))
+        self._node_rng = np.random.default_rng((self.config.seed, 0xF3))
         self.engine: Optional["Engine"] = None
+        self.cluster: Optional["Cluster"] = None
         self._failed_ssds: set[int] = set()
         self._task_counts: dict[int, int] = {}
         self._crash_after = dict(self.config.worker_crashes)
@@ -183,6 +244,7 @@ class FaultInjector:
         if self.engine is not None:
             raise RuntimeError("FaultInjector already attached")
         self.engine = cluster.engine
+        self.cluster = cluster
         if self.config.any_pfs_faults:
             cluster.pfs.fault_hook = self.pfs_hook
         for start_t, factor in self._slowdown_edges():
@@ -198,6 +260,13 @@ class FaultInjector:
                     self.engine.schedule(
                         at - self.engine.now, self._fail_ssd, node_index
                     )
+        if self.config.any_node_faults:
+            for t, kind, node_index in self._node_fault_plan(
+                    len(cluster.nodes)):
+                self.engine.schedule(
+                    max(0.0, t - self.engine.now),
+                    self._apply_node_event, kind, node_index,
+                )
         return self
 
     def _slowdown_edges(self) -> list[tuple[float, float]]:
@@ -215,6 +284,78 @@ class FaultInjector:
     def _fail_ssd(self, node_index: int) -> None:
         self._failed_ssds.add(node_index)
         self.note("ssd_failed", node=node_index)
+
+    # ------------------------------------------------------------------
+    # Node-level faults (fleet scale)
+    # ------------------------------------------------------------------
+    def _node_fault_plan(self, n_nodes: int) -> list[tuple[float, str, int]]:
+        """The full ``(time, kind, node)`` node-fault schedule, sorted.
+
+        Pure function of the config (and the seeded node RNG stream for
+        the rate-based part, drawn in node-index order) — the plan is
+        identical on every same-seed run, which is what the chaos
+        determinism gate replays.  ``kind`` is ``"crash"``, ``"drain"``
+        or ``"revive"``.
+        """
+        cfg = self.config
+        events: list[tuple[float, str, int]] = []
+
+        def crash(node: int, at: float) -> None:
+            events.append((at, "crash", node))
+            if cfg.node_repair_time > 0:
+                events.append((at + cfg.node_repair_time, "revive", node))
+
+        for node, at in cfg.node_crashes:
+            if node < n_nodes:
+                crash(node, at)
+        for cabinet, at in cfg.cabinet_crashes:
+            base = cabinet * cfg.cabinet_size
+            for node in range(base, min(base + cfg.cabinet_size, n_nodes)):
+                crash(node, at)
+        for node, start, duration in cfg.node_drains:
+            if node < n_nodes:
+                events.append((start, "drain", node))
+                events.append((start + duration, "revive", node))
+        if cfg.node_mtbf > 0 and cfg.fault_horizon > 0:
+            for node in range(n_nodes):
+                t = 0.0
+                while True:
+                    t += float(self._node_rng.exponential(cfg.node_mtbf))
+                    if t >= cfg.fault_horizon:
+                        break
+                    crash(node, t)
+                    if cfg.node_repair_time <= 0:
+                        break
+                    t += cfg.node_repair_time
+        # Deterministic total order; revives sort after crashes at the
+        # same instant so an instant repair cannot resurrect a node
+        # before its crash is applied.
+        kind_order = {"crash": 0, "drain": 1, "revive": 2}
+        events.sort(key=lambda e: (e[0], kind_order[e[1]], e[2]))
+        return events
+
+    def _apply_node_event(self, kind: str, node_index: int) -> None:
+        """Drive one planned node event through the cluster ledger."""
+        from repro.platform.cluster import NodeState
+
+        cluster = self.cluster
+        state = cluster.node_state(node_index)
+        if kind == "crash":
+            if state is NodeState.DOWN:
+                return  # correlated schedules may double-hit a node
+            owner = cluster.owner_of(node_index)
+            self.note("node_crash", node=node_index, owner=owner)
+            cluster.fail_node(node_index)
+        elif kind == "drain":
+            if state is not NodeState.UP:
+                return
+            self.note("node_drain", node=node_index)
+            cluster.drain_node(node_index)
+        else:  # revive
+            if state is NodeState.UP:
+                return
+            self.note("node_revive", node=node_index)
+            cluster.revive_node(node_index)
 
     # ------------------------------------------------------------------
     # Storage hooks (called from platform.storage at request issue)
@@ -253,6 +394,15 @@ class FaultInjector:
     def pfs_available(self, t: Optional[float] = None) -> bool:
         """Whether the PFS accepts new requests at ``t`` (default: now)."""
         return self._outage_at(self.engine.now if t is None else t) is None
+
+    def outage_end(self, t: Optional[float] = None) -> Optional[float]:
+        """End of the outage window covering ``t`` (None when PFS is up).
+
+        The scheduler's degraded-mode admission uses this to defer
+        placements to the window's edge instead of polling.
+        """
+        window = self._outage_at(self.engine.now if t is None else t)
+        return None if window is None else window.end
 
     def when_pfs_available(self) -> Generator:
         """Process helper: block until outside every outage window (the

@@ -18,7 +18,12 @@ from repro.harness.experiment import ExperimentResult, build_vol, run_experiment
 from repro.harness.sweep import SweepPoint, best_by_config, scale_sweep
 from repro.harness.report import FigureData
 from repro.harness.store import load_results, save_results
-from repro.harness.recovery import RecoveryResult, recovery_sweep, run_recovery
+from repro.harness.recovery import (
+    RecoveryResult,
+    durable_progress,
+    recovery_sweep,
+    run_recovery,
+)
 from repro.harness.sched import FleetMetrics, run_fleet, sched_testbed
 from repro.harness import figures
 
@@ -30,6 +35,7 @@ __all__ = [
     "SweepPoint",
     "best_by_config",
     "build_vol",
+    "durable_progress",
     "figures",
     "load_results",
     "recovery_sweep",

@@ -40,7 +40,8 @@ from repro.faults import FaultConfig, FaultInjector
 from repro.harness.experiment import build_vol
 from repro.workloads.restart import RestartConfig, restart_program
 
-__all__ = ["RecoveryResult", "recovery_sweep", "run_recovery"]
+__all__ = ["RecoveryResult", "durable_progress", "recovery_sweep",
+           "run_recovery"]
 
 
 @dataclass(frozen=True)
@@ -107,14 +108,17 @@ def _clean_wall(machine: MachineSpec, mode: str, nranks: int,
     return max(finish for _, finish in results)
 
 
-def _durable_progress(log, nranks: int, t_kill: float,
-                      checkpoints: int) -> tuple[int, float, int]:
-    """Scan the killed run's log for checkpoint durability.
+def durable_progress(log, nranks: int, t_kill: float,
+                     checkpoints: int) -> tuple[int, float, int]:
+    """Scan a killed run's log for checkpoint durability.
 
     Returns ``(n_durable, durable_at, lost)``: the count of
     contiguous-from-zero checkpoints durable on every rank by
     ``t_kill``, the completion time of the newest one (0 when none),
     and the count of further checkpoints issued but not durable.
+    Shared with the scheduler's requeue path, which replays the same
+    scan over a node-failure victim's private IOLog to decide where the
+    requeued job restarts.
     """
     by_phase: dict[int, list] = {}
     for r in log.records:
@@ -173,7 +177,7 @@ def run_recovery(
         # aborting the engine — this experiment expects casualties.
         proc.done._wait(lambda ev: None)
     engine.run(until=t_kill)
-    n_durable, durable_at, lost = _durable_progress(
+    n_durable, durable_at, lost = durable_progress(
         vol.log, nranks, t_kill, config.checkpoints)
     data_loss_window = t_kill - durable_at
 

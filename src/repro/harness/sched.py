@@ -12,11 +12,13 @@ bit-identical metrics — the benchmark's replay gate depends on it.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.sim import Engine
+from repro.faults import FaultConfig, FaultInjector
 from repro.platform import Cluster, ContentionTimeline
 from repro.platform.spec import MachineSpec
 from repro.sched import (
@@ -85,6 +87,29 @@ class FleetMetrics:
     completion_p99: float
     peak_live_jobs: int
     busy_node_seconds: float
+    # -- fault-tolerance ledger (all zero when no faults injected) ----
+    #: Node crash events observed via the cluster ledger.
+    node_failures: int = 0
+    #: Jobs killed by a node crash (a job can be a victim repeatedly).
+    node_kills: int = 0
+    #: Requeues performed after node-failure kills.
+    requeues: int = 0
+    #: Compute-seconds destroyed by kills (work past the last durable
+    #: checkpoint, summed over every killed attempt).
+    lost_work_seconds: float = 0.0
+    #: Lost work weighted by each attempt's node count — the facility's
+    #: view of the same waste.
+    wasted_node_seconds: float = 0.0
+    #: Simulated seconds admission spent paused in degraded mode.
+    degraded_seconds: float = 0.0
+    #: Completed-job records whose measurements the advisor quarantined
+    #: because the run saw injected faults.
+    quarantined: int = 0
+    #: Whether requeued jobs restarted from durable checkpoints.
+    checkpoint_restart: bool = True
+    #: sha256 of the injector's fault-trace signature ("" = no faults)
+    #: — the chaos determinism gate compares this across replays.
+    fault_signature: str = ""
     #: Per-job rows (JobRecord.summary()) for drill-down / JSON.
     jobs: tuple = field(default_factory=tuple, repr=False)
 
@@ -115,6 +140,8 @@ def run_fleet(
     max_stagger: float = 10.0,
     external_contention=None,
     day: int = 0,
+    fault_config: Optional[FaultConfig] = None,
+    checkpoint_restart: bool = True,
 ) -> FleetMetrics:
     """Run one seeded job stream to completion under one policy.
 
@@ -124,10 +151,16 @@ def run_fleet(
     ``external_contention`` (a :class:`~repro.platform.contention.
     ContentionModel`) optionally layers a day-sampled availability
     factor for traffic outside the fleet on top of the mechanistic
-    co-run contention.
+    co-run contention.  ``fault_config`` attaches a
+    :class:`~repro.faults.FaultInjector` to the cluster (the chaos
+    axis: node crashes, drains, PFS outages); ``checkpoint_restart``
+    controls whether requeued victims restart from durable checkpoints
+    or from scratch.
     """
     engine = Engine()
     cluster = Cluster(engine, spec, spec.total_nodes)
+    injector = (FaultInjector(fault_config).attach(cluster)
+                if fault_config is not None else None)
     service = AdvisorService(spec)
     kwargs = {"max_stagger": max_stagger} if policy_name == "io-aware" else {}
     policy = make_policy(
@@ -139,14 +172,29 @@ def run_fleet(
     )
     scheduler = Scheduler(
         engine, cluster, policy, service=service, timeline=timeline,
+        injector=injector, checkpoint_restart=checkpoint_restart,
     )
     records = scheduler.run_stream(JobStream(spec, stream_config).arrivals())
 
     done = [r for r in records if r.state is JobState.COMPLETED]
     waits = [r.wait_time for r in done]
     completions = [r.completion_time for r in done]
-    makespan = engine.now
+    # Scheduled fault windows (repairs, planned crashes on idle nodes)
+    # can outlast the last job, so engine.now is only the fallback:
+    # the fleet's makespan is the last job-finish instant.
+    finishes = [r.finish_time for r in records
+                if not math.isnan(r.finish_time)]
+    makespan = max(finishes) if finishes else engine.now
     moved = sum(r.bytes_moved() for r in done)
+    wasted = sum(
+        row["lost_work_seconds"] * len(row["nodes"])
+        for r in records for row in r.attempt_history
+    )
+    fault_signature = ""
+    if injector is not None:
+        fault_signature = hashlib.sha256(
+            repr(injector.signature()).encode()
+        ).hexdigest()
     return FleetMetrics(
         policy=policy_name,
         machine=spec.name,
@@ -175,5 +223,14 @@ def run_fleet(
         completion_p99=percentile(completions, 99),
         peak_live_jobs=timeline.peak_live_jobs(),
         busy_node_seconds=timeline.busy_node_seconds(),
+        node_failures=scheduler.node_failures,
+        node_kills=scheduler.node_kills,
+        requeues=scheduler.requeues,
+        lost_work_seconds=sum(r.lost_work_seconds for r in records),
+        wasted_node_seconds=wasted,
+        degraded_seconds=scheduler.degraded_seconds,
+        quarantined=service.quarantined,
+        checkpoint_restart=checkpoint_restart,
+        fault_signature=fault_signature,
         jobs=tuple(r.summary() for r in records),
     )

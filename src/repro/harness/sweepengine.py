@@ -79,12 +79,26 @@ class SweepSpec:
     seeds: tuple[int, ...] = (0,)
     #: Jobs per stream (``kind="sched"`` only).
     jobs: int = 12
+    #: Chaos axis (``kind="sched"`` only): node-crash rates, in
+    #: expected crashes per node per 1000 simulated seconds (see
+    #: :func:`repro.faults.chaos_config`).  The default ``(0.0,)`` is
+    #: the zero-cost-off path — no injector is built at all.
+    faults: tuple[float, ...] = (0.0,)
+    #: Base seed of the chaos axis, mixed with each point's stream seed
+    #: so fault times decorrelate across seeds but replay identically.
+    fault_seed: int = 0
+    #: Whether requeued crash victims restart from durable checkpoints.
+    checkpoint: bool = True
 
     def __post_init__(self) -> None:
         if self.kind not in ("workload", "sched"):
             raise ValueError(
                 f"kind must be 'workload' or 'sched', got {self.kind!r}"
             )
+        if self.kind == "workload" and any(f > 0 for f in self.faults):
+            raise ValueError("the fault axis applies to kind='sched' only")
+        if any(f < 0 for f in self.faults):
+            raise ValueError("fault rates must be non-negative")
 
     def describe(self) -> str:
         axes = (
@@ -92,6 +106,8 @@ class SweepSpec:
             f"{'policy' if self.kind == 'sched' else 'mode'}(s) x "
             f"{len(self.scales)} scale(s) x {len(self.seeds)} seed(s)"
         )
+        if any(f > 0 for f in self.faults):
+            axes += f" x {len(self.faults)} fault rate(s)"
         return f"{self.kind}:{self.workload} {axes}"
 
 
@@ -107,6 +123,11 @@ class SweepTask:
     scale: float
     seed: int
     jobs: int
+    #: Chaos axis: node-crash rate, base fault seed, checkpointing
+    #: on/off.  ``fault_rate == 0`` builds no injector (zero-cost off).
+    fault_rate: float = 0.0
+    fault_seed: int = 0
+    checkpoint: bool = True
 
 
 @dataclass(frozen=True)
@@ -144,19 +165,25 @@ class SweepOutcome:
 
 
 def expand_grid(spec: SweepSpec) -> list[SweepTask]:
-    """Enumerate the grid in canonical (machine, mode, scale, seed) order."""
+    """Enumerate the grid in canonical (machine, mode, scale, fault,
+    seed) order."""
     tasks: list[SweepTask] = []
     index = 0
     for machine in spec.machines:
         for mode in spec.modes:
             for scale in spec.scales:
-                for seed in spec.seeds:
-                    tasks.append(SweepTask(
-                        index=index, kind=spec.kind, workload=spec.workload,
-                        machine=machine, mode=mode, scale=scale, seed=seed,
-                        jobs=spec.jobs,
-                    ))
-                    index += 1
+                for fault_rate in spec.faults:
+                    for seed in spec.seeds:
+                        tasks.append(SweepTask(
+                            index=index, kind=spec.kind,
+                            workload=spec.workload,
+                            machine=machine, mode=mode, scale=scale,
+                            seed=seed, jobs=spec.jobs,
+                            fault_rate=fault_rate,
+                            fault_seed=spec.fault_seed,
+                            checkpoint=spec.checkpoint,
+                        ))
+                        index += 1
     return tasks
 
 
@@ -199,6 +226,7 @@ def _run_workload_point(task: SweepTask) -> dict:
 
 
 def _run_sched_point(task: SweepTask) -> dict:
+    from repro.faults import chaos_config
     from repro.harness.sched import run_fleet
     from repro.sched import StreamConfig
 
@@ -207,7 +235,13 @@ def _run_sched_point(task: SweepTask) -> dict:
         n_jobs=task.jobs, seed=task.seed, mean_interarrival=task.scale,
         rank_choices=(4, 8, 16),
     )
-    metrics = run_fleet(machine, cfg, task.mode)
+    # Mix the stream seed into the fault seed (a fixed odd prime keeps
+    # the map injective) so each stream meets its own crash schedule,
+    # yet the pair replays bit-identically.
+    fault = chaos_config(task.fault_rate,
+                         seed=task.fault_seed + 7919 * task.seed)
+    metrics = run_fleet(machine, cfg, task.mode, fault_config=fault,
+                        checkpoint_restart=task.checkpoint)
     return asdict(metrics)
 
 
@@ -227,6 +261,7 @@ def run_point(task: SweepTask) -> dict:
         "mode": task.mode,
         "scale": task.scale,
         "seed": task.seed,
+        "fault_rate": task.fault_rate,
         "ok": False,
         "error": None,
         "metrics": None,
@@ -304,6 +339,9 @@ def merged_results(merged: dict) -> list[PointResult]:
                 index=p["index"], kind=p["kind"], workload=p["workload"],
                 machine=p["machine"], mode=p["mode"], scale=p["scale"],
                 seed=p["seed"], jobs=spec["jobs"],
+                fault_rate=p.get("fault_rate", 0.0),
+                fault_seed=spec.get("fault_seed", 0),
+                checkpoint=spec.get("checkpoint", True),
             ),
         ))
     return out
@@ -337,7 +375,7 @@ def sweepable_grids() -> list[tuple[str, str]]:
     ]
     grids.append((
         "sched",
-        "machines x (fifo|backfill|io-aware) x loads x seeds — "
-        "multi-tenant job streams",
+        "machines x (fifo|backfill|io-aware) x loads x fault rates x "
+        "seeds — multi-tenant job streams, optional chaos axis",
     ))
     return grids

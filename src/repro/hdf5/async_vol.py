@@ -51,7 +51,7 @@ from typing import TYPE_CHECKING, Deque, Generator, Optional
 import numpy as np
 
 from repro.check import hooks as _check_hooks
-from repro.sim.engine import AllOf, Engine, SimEvent
+from repro.sim.engine import AllOf, Engine, Interrupted, SimEvent
 from repro.sim.primitives import Queue
 from repro.faults.errors import (
     FaultError,
@@ -535,6 +535,14 @@ class AsyncVOL(VOLConnector):
                         total += nxt.nbytes
                 try:
                     yield from self._drain_with_recovery(ctx, batch)
+                except Interrupted:
+                    # External kill (the node died): release staging so
+                    # nothing wedges, then let the worker die — staged
+                    # data that never drained is lost with the node.
+                    for desc in batch:
+                        if not desc.done.triggered and desc.reservation.held:
+                            desc.reservation.release()
+                    raise
                 except Exception as err:  # noqa: BLE001
                     # fail every op and free its staging reservation so
                     # backpressured writers are not wedged forever
@@ -547,9 +555,37 @@ class AsyncVOL(VOLConnector):
             gen, done = task
             try:
                 yield from gen
+            except Interrupted:
+                raise  # external kill: the worker dies with its node
             except Exception as err:  # noqa: BLE001 - surface via the event
                 if not done.triggered:
                     done.fail(err)
+
+    def interrupt_workers(self, cause=None) -> int:
+        """Kill every live background worker *now* (the scheduler's
+        node-failure scancel).
+
+        The real connector's Argobots threads live in the compute
+        node's memory — when the node dies, staged-but-undrained data
+        dies with it, so the workers must not keep landing bytes on the
+        PFS after the job is dead.  No recovery process is spawned (the
+        fallback ladder is for *worker* faults, not node loss); staging
+        reservations are released by the interrupted drain's cleanup.
+        Returns the number of workers interrupted.
+        """
+        killed = 0
+        for state in self._ranks.values():
+            for proc in (state.worker or ()):
+                if proc.alive:
+                    # Workers have no joiners; subscribe a sink so the
+                    # kill terminates the process instead of escaping
+                    # to Engine.run as an unhandled failure.
+                    proc.done._wait(lambda ev: None)
+                    proc.interrupt(cause)
+                    killed += 1
+            state.workers_alive = 0
+            state.crashed = True
+        return killed
 
     def _on_worker_crash(self, ctx: "RankContext", state: _RankState,
                          task) -> None:

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.check import hooks as _check_hooks
-from repro.sim.engine import AllOf, Engine, SimEvent
+from repro.sim.engine import AllOf, Engine, Interrupted, SimEvent
 
 __all__ = ["EventSet"]
 
@@ -102,6 +102,12 @@ class EventSet:
                 break
             try:
                 yield AllOf([ev for _, ev in still])
+            except Interrupted:
+                # A scheduler kill (walltime scancel, node failure)
+                # thrown into the waiting process is not an operation
+                # failure — it must terminate the rank, not be absorbed
+                # into the set's error accounting.
+                raise
             except Exception:  # noqa: BLE001
                 # One op failed (AllOf is fail-fast).  Its error is
                 # harvested on the next pass; keep waiting for the rest

@@ -9,7 +9,7 @@ machine specifications, and builds them into live simulation objects
 models and a contention process.
 """
 
-from repro.platform.cluster import Cluster, Node
+from repro.platform.cluster import Cluster, Node, NodeState
 from repro.platform.contention import (
     ContentionModel,
     ContentionProcess,
@@ -56,6 +56,7 @@ __all__ = [
     "MemcpySpec",
     "Node",
     "NodeLocalSSD",
+    "NodeState",
     "NodeSpec",
     "ParallelFileSystem",
     "SSDSpec",

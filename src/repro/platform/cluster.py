@@ -23,7 +23,8 @@ SSD staging           :meth:`Node.ssd` write/read
 
 from __future__ import annotations
 
-from typing import Optional
+import enum
+from typing import Callable, Optional
 
 from repro.sim.engine import Engine
 from repro.sim.network import Flow, Link, Network
@@ -36,7 +37,26 @@ from repro.platform.storage import (
     make_filesystem,
 )
 
-__all__ = ["Cluster", "Node"]
+__all__ = ["Cluster", "Node", "NodeState"]
+
+
+class NodeState(enum.Enum):
+    """Ledger state of one node (fleet-level fault tolerance).
+
+    State machine::
+
+        UP --fail_node--> DOWN --revive_node--> UP
+        UP --drain_node--> DRAINING --revive_node--> UP
+        DRAINING --fail_node--> DOWN
+
+    Only ``UP`` nodes are placeable; a ``DOWN`` node's resident job is
+    dead (the scheduler kills and requeues it), a ``DRAINING`` node's
+    resident job finishes unharmed but the node takes no new work.
+    """
+
+    UP = "up"
+    DOWN = "down"
+    DRAINING = "draining"
 
 
 class Node:
@@ -110,19 +130,33 @@ class Cluster:
         #: unless a :class:`repro.sched.Scheduler` allocates through it.
         self._free_nodes: list[int] = list(range(nodes))
         self._allocated: dict[int, tuple[int, ...]] = {}
+        self._busy: set[int] = set()
+        self._node_states: list[NodeState] = [NodeState.UP] * nodes
+        #: Observers of node failures/drains: ``callback(index, kind)``
+        #: with ``kind`` in ``("crash", "drain")``.  The scheduler
+        #: registers here to kill and requeue resident jobs.
+        self.on_node_down: list[Callable[[int, str], None]] = []
+        #: Observers of node repairs: ``callback(index)``.  The
+        #: scheduler re-kicks its placement loop when capacity returns.
+        self.on_node_up: list[Callable[[int], None]] = []
 
     # ------------------------------------------------------------------
     # Node accounting (multi-tenant scheduling)
     # ------------------------------------------------------------------
     @property
     def free_node_count(self) -> int:
-        """Nodes not currently allocated to any tenant."""
+        """Nodes placeable right now (``UP`` and unallocated)."""
         return len(self._free_nodes)
 
     @property
     def busy_node_count(self) -> int:
         """Nodes currently allocated to tenants."""
-        return len(self.nodes) - len(self._free_nodes)
+        return len(self._busy)
+
+    @property
+    def down_node_count(self) -> int:
+        """Nodes currently ``DOWN`` or ``DRAINING`` (not placeable)."""
+        return sum(1 for s in self._node_states if s is not NodeState.UP)
 
     def free_node_indices(self) -> tuple[int, ...]:
         """Sorted indices of the currently free nodes."""
@@ -146,25 +180,108 @@ class Cluster:
             )
         taken = tuple(self._free_nodes[:count])
         del self._free_nodes[:count]
+        self._busy.update(taken)
         if owner is not None:
             self._allocated[owner] = taken
         return taken
 
     def release_nodes(self, indices) -> None:
-        """Return ``indices`` to the free set (keeps the set sorted)."""
+        """Return ``indices`` to the free set (keeps the set sorted).
+
+        Nodes that are no longer ``UP`` are un-allocated but **not**
+        freed — a failed or draining node re-enters the free set only
+        through :meth:`revive_node`.
+        """
         freeing = set(indices)
         if freeing & set(self._free_nodes):
             raise ValueError(f"double release of nodes {sorted(freeing)}")
         bad = [i for i in freeing if not 0 <= i < len(self.nodes)]
         if bad:
             raise ValueError(f"node indices out of range: {bad}")
-        self._free_nodes = sorted(set(self._free_nodes) | freeing)
+        self._busy.difference_update(freeing)
+        usable = {i for i in freeing
+                  if self._node_states[i] is NodeState.UP}
+        self._free_nodes = sorted(set(self._free_nodes) | usable)
 
     def release_owner(self, owner: int) -> None:
         """Release every node held by ``owner`` (no-op if none)."""
         taken = self._allocated.pop(owner, None)
         if taken:
             self.release_nodes(taken)
+
+    # ------------------------------------------------------------------
+    # Node state machine (fleet-level fault tolerance)
+    # ------------------------------------------------------------------
+    def node_state(self, index: int) -> NodeState:
+        """Ledger state of one node."""
+        self._check_node_index(index)
+        return self._node_states[index]
+
+    def owner_of(self, index: int) -> Optional[int]:
+        """The job id holding ``index``, or None when unallocated."""
+        self._check_node_index(index)
+        for owner, taken in self._allocated.items():
+            if index in taken:
+                return owner
+        return None
+
+    def fail_node(self, index: int) -> Optional[int]:
+        """Hard-crash one node: mark it ``DOWN`` and pull it from the
+        free set.  An allocated node stays on its owner's books until
+        the owner releases it (the scheduler's kill path), so the
+        accounting mirrors a real batch system: the dead node is still
+        "assigned" while the job is reaped.  Notifies every
+        ``on_node_down`` observer with kind ``"crash"`` and returns the
+        owner job id (None when the node was idle).
+        """
+        self._check_node_index(index)
+        if self._node_states[index] is NodeState.DOWN:
+            raise ValueError(f"node {index} is already down")
+        self._node_states[index] = NodeState.DOWN
+        if index in self._free_nodes:
+            self._free_nodes.remove(index)
+        owner = self.owner_of(index)
+        for callback in list(self.on_node_down):
+            callback(index, "crash")
+        return owner
+
+    def drain_node(self, index: int) -> Optional[int]:
+        """Gracefully drain one node: mark it ``DRAINING`` so placement
+        skips it; a resident job keeps running to completion.  Notifies
+        ``on_node_down`` observers with kind ``"drain"``; returns the
+        owner job id (None when idle).
+        """
+        self._check_node_index(index)
+        if self._node_states[index] is not NodeState.UP:
+            raise ValueError(
+                f"cannot drain node {index}: state is "
+                f"{self._node_states[index].value}"
+            )
+        self._node_states[index] = NodeState.DRAINING
+        if index in self._free_nodes:
+            self._free_nodes.remove(index)
+        owner = self.owner_of(index)
+        for callback in list(self.on_node_down):
+            callback(index, "drain")
+        return owner
+
+    def revive_node(self, index: int) -> None:
+        """Repair one node: back to ``UP``; re-enters the free set
+        unless a tenant still holds it.  Notifies ``on_node_up``
+        observers (the scheduler re-kicks its loop on new capacity).
+        """
+        self._check_node_index(index)
+        if self._node_states[index] is NodeState.UP:
+            raise ValueError(f"node {index} is already up")
+        self._node_states[index] = NodeState.UP
+        if index not in self._busy and index not in self._free_nodes:
+            self._free_nodes = sorted(self._free_nodes + [index])
+        for callback in list(self.on_node_up):
+            callback(index)
+
+    def _check_node_index(self, index: int) -> None:
+        if not 0 <= index < len(self.nodes):
+            raise ValueError(f"node index out of range: {index}")
 
     # ------------------------------------------------------------------
     # Data movement primitives

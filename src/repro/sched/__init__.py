@@ -22,7 +22,13 @@ Components:
   admitted jobs on one shared cluster with mechanistic PFS contention.
 """
 
-from repro.sched.job import JobKilled, JobRecord, JobSpec, JobState
+from repro.sched.job import (
+    JobKilled,
+    JobKilledByNodeFailure,
+    JobRecord,
+    JobSpec,
+    JobState,
+)
 from repro.sched.policies import (
     BackfillPolicy,
     FIFOPolicy,
@@ -46,6 +52,7 @@ __all__ = [
     "FIFOPolicy",
     "IOAwarePolicy",
     "JobKilled",
+    "JobKilledByNodeFailure",
     "JobRecord",
     "JobSpec",
     "JobState",

@@ -21,7 +21,8 @@ from typing import Any, Callable, Optional
 
 from repro.sim.engine import Interrupted
 
-__all__ = ["JobKilled", "JobRecord", "JobSpec", "JobState"]
+__all__ = ["JobKilled", "JobKilledByNodeFailure", "JobRecord", "JobSpec",
+           "JobState"]
 
 
 class JobKilled(Interrupted):
@@ -35,6 +36,20 @@ class JobKilled(Interrupted):
         super().__init__(f"job {job_id} killed: {reason}")
         self.job_id = job_id
         self.reason = reason
+
+
+class JobKilledByNodeFailure(JobKilled):
+    """The kill interrupt delivered when a job's node hard-crashes.
+
+    Distinct from the walltime :class:`JobKilled` so the runner's
+    recovery path can requeue the victim instead of recording a
+    timeout; ``__cause__`` carries the underlying
+    :class:`~repro.faults.errors.NodeFailureError`.
+    """
+
+    def __init__(self, job_id: int, node: int):
+        super().__init__(job_id, reason=f"node {node} failed")
+        self.node = node
 
 
 class JobState(enum.Enum):
@@ -64,6 +79,18 @@ class JobSpec:
     job's I/O shape to admission control — the same quantities the
     paper's Fig. 2 feedback loop works on, declared up front the way
     batch jobs declare walltime.
+
+    **Checkpoint/restart model.**  The job's I/O phases double as its
+    checkpoints: ``compute_phase_seconds`` is the checkpoint interval
+    and ``phase_bytes`` the checkpoint size, charged through the same
+    sync/async write model as every other byte — which is why *async*
+    checkpointing measurably shrinks the work lost to a node failure
+    (more phases reach durable storage by the kill instant, Eq. 2b's
+    overlap).  ``resume_factory(config, n_durable)`` rebuilds the
+    workload config so a requeued job restarts after its first
+    ``n_durable`` completed phases; jobs without one (e.g. read
+    workloads) restart from scratch.  ``max_restarts`` is the
+    scheduler's per-job requeue budget after node failures.
     """
 
     name: str
@@ -81,6 +108,12 @@ class JobSpec:
     walltime: float = math.inf
     ranks_per_node: Optional[int] = None
     vol_kwargs: dict = field(default_factory=dict)
+    #: ``(config, n_durable) -> config`` building the resumed workload
+    #: config after ``n_durable`` phases are durable; None = no
+    #: application-level checkpointing, requeues restart from scratch.
+    resume_factory: Optional[Callable] = None
+    #: Requeue budget after node failures (0 = fail on first crash).
+    max_restarts: int = 2
 
     def __post_init__(self) -> None:
         if self.nranks < 1:
@@ -99,6 +132,10 @@ class JobSpec:
             raise ValueError(f"walltime must be positive, got {self.walltime}")
         if self.ranks_per_node is not None and self.ranks_per_node < 1:
             raise ValueError("ranks_per_node must be >= 1")
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
 
     def nnodes(self, default_rpn: int) -> int:
         """Nodes this job occupies at its (or the machine's) density."""
@@ -116,7 +153,8 @@ class JobRecord:
     __slots__ = (
         "spec", "job_id", "submit_time", "state", "mode", "nodes",
         "start_time", "finish_time", "log", "decision", "stats_delta",
-        "reject_reason",
+        "reject_reason", "queued_since", "attempts", "kill_reason",
+        "fault", "attempt_history", "durable_phases", "lost_work_seconds",
     )
 
     def __init__(self, spec: JobSpec, job_id: int, submit_time: float):
@@ -139,6 +177,26 @@ class JobRecord:
         #: the cluster — co-resident tenants overlap by construction).
         self.stats_delta: dict[str, int] = {}
         self.reject_reason: Optional[str] = None
+        #: When the job last (re-)entered the pending queue: submission
+        #: for attempt 1, end of the requeue backoff for later attempts.
+        self.queued_since = submit_time
+        #: Times the scheduler started this job (1 = never requeued).
+        self.attempts = 0
+        #: Why the scheduler killed the job (None for clean lifecycles).
+        self.kill_reason: Optional[str] = None
+        #: Fault signature of the kill, e.g. ``{"kind":
+        #: "NodeFailureError", "node": 3}`` — the per-job slice of the
+        #: injector's timeline, for drill-down and quarantine audits.
+        self.fault: Optional[dict] = None
+        #: One row per *failed* attempt (start/finish/nodes/durable
+        #: phases/lost work/reason); the final attempt lives in the
+        #: record's own fields.
+        self.attempt_history: list[dict] = []
+        #: Checkpoints (completed I/O phases) durable across attempts —
+        #: a requeued job resumes after this many phases.
+        self.durable_phases = 0
+        #: Compute seconds re-done because of kills (across attempts).
+        self.lost_work_seconds = 0.0
 
     # -- derived metrics ------------------------------------------------
     @property
@@ -187,6 +245,12 @@ class JobRecord:
             "completion_time": self.completion_time,
             "bytes_moved": self.bytes_moved(),
             "stats_delta": dict(self.stats_delta),
+            "attempts": self.attempts,
+            "kill_reason": self.kill_reason,
+            "fault": dict(self.fault) if self.fault else None,
+            "attempt_history": [dict(a) for a in self.attempt_history],
+            "durable_phases": self.durable_phases,
+            "lost_work_seconds": self.lost_work_seconds,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

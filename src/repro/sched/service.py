@@ -63,6 +63,10 @@ class AdvisorService:
         self._histories: dict[str, MeasurementHistory] = {}
         #: (tenant, Decision) pairs in consultation order.
         self.consultations: list[tuple[str, Decision]] = []
+        #: Completed-job records quarantined whole because their run
+        #: saw injected faults (contaminated measurements never reach
+        #: any tenant's history).
+        self.quarantined = 0
         self._transact = TransactOverheadModel.from_memcpy_spec(
             spec.node.memcpy
         )
@@ -182,9 +186,20 @@ class AdvisorService:
         measure the overlapped drain, faulted records measure the
         fault (the same exclusion
         :class:`~repro.model.advisor.AdaptiveVOL` applies in-loop).
-        Returns the number of samples absorbed.
+        A run that saw *any* injected fault is quarantined whole —
+        even its clean-looking operations ran next to retries and
+        outage waits, so their rates describe the fault storm, not the
+        machine.  That includes jobs killed by a node failure and
+        requeued: the surviving attempt's log only covers the resumed
+        tail of the workload, measured on a recovering fleet.  Returns
+        the number of samples absorbed.
         """
         if record.log is None:
+            return 0
+        if (getattr(record, "attempt_history", None)
+                or any(getattr(op, "faulted", False)
+                       for op in record.log.records)):
+            self.quarantined += 1
             return 0
         history = self.history_for(record.spec.tenant)
         absorbed = 0

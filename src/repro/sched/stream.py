@@ -20,7 +20,7 @@ read workloads carry their own prepopulate hook.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 import numpy as np
@@ -36,6 +36,24 @@ Mi = 1 << 20
 # ---------------------------------------------------------------------------
 # Catalog: scaled-down job templates, one per workload
 # ---------------------------------------------------------------------------
+#
+# Write workloads carry a ``resume_factory(config, n_durable)`` so a
+# job requeued after a node failure restarts past its durable phases
+# (the scheduler's checkpoint-restart path); the ``max(1, ...)`` floor
+# keeps a resumed config valid even when every issued phase landed.
+# Read workloads have none: a killed read job restarts from scratch.
+
+def _resume_steps(cfg, n_durable: int):
+    return replace(cfg, steps=max(1, cfg.steps - n_durable))
+
+
+def _resume_plotfiles(cfg, n_durable: int):
+    return replace(cfg, n_plotfiles=max(1, cfg.n_plotfiles - n_durable))
+
+
+def _resume_checkpoints(cfg, n_durable: int):
+    return replace(cfg, n_checkpoints=max(1, cfg.n_checkpoints - n_durable))
+
 
 def _vpic(path: str, nranks: int, size_scale: float, compute_scale: float):
     from repro.workloads import VPICConfig, vpic_program
@@ -48,7 +66,7 @@ def _vpic(path: str, nranks: int, size_scale: float, compute_scale: float):
         program_factory=vpic_program, config=cfg, op="write",
         compute_phase_seconds=cfg.compute_seconds,
         phase_bytes=float(cfg.bytes_per_rank_per_step() * nranks),
-        n_phases=cfg.steps,
+        n_phases=cfg.steps, resume_factory=_resume_steps,
     )
 
 
@@ -82,7 +100,7 @@ def _nyx(path: str, nranks: int, size_scale: float, compute_scale: float):
         program_factory=nyx_program, config=cfg, op="write",
         compute_phase_seconds=cfg.compute_phase_seconds(),
         phase_bytes=float(cfg.plotfile_bytes()),
-        n_phases=cfg.n_plotfiles,
+        n_phases=cfg.n_plotfiles, resume_factory=_resume_plotfiles,
     )
 
 
@@ -97,7 +115,7 @@ def _castro(path: str, nranks: int, size_scale: float, compute_scale: float):
         program_factory=castro_program, config=cfg, op="write",
         compute_phase_seconds=cfg.compute_phase_seconds(),
         phase_bytes=float(cfg.plotfile_bytes()),
-        n_phases=cfg.n_plotfiles,
+        n_phases=cfg.n_plotfiles, resume_factory=_resume_plotfiles,
     )
 
 
@@ -112,7 +130,7 @@ def _sw4(path: str, nranks: int, size_scale: float, compute_scale: float):
         program_factory=sw4_program, config=cfg, op="write",
         compute_phase_seconds=cfg.compute_phase_seconds(),
         phase_bytes=float(cfg.checkpoint_bytes()),
-        n_phases=cfg.n_checkpoints,
+        n_phases=cfg.n_checkpoints, resume_factory=_resume_checkpoints,
     )
 
 

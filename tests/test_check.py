@@ -40,7 +40,7 @@ def rule_ids(findings):
 
 def test_registry_has_all_rule_bands():
     assert set(RULES) == {
-        "RC101", "RC102", "RC201", "RC202", "RC203",
+        "RC101", "RC102", "RC201", "RC202", "RC203", "RC205",
         "RC301", "RC302", "RC303",
         "RC401", "RC402", "RC403", "RC404",
         "RC501", "RC502", "RC503",
@@ -163,6 +163,88 @@ def test_rc203_clean_on_taxonomy_subclass():
     src = (
         "from repro.faults.errors import FaultError\n"
         "class StallError(FaultError):\n    pass\n"
+    )
+    assert lint_source(src, SIM_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# RC205 retry discipline
+# ---------------------------------------------------------------------------
+
+def test_rc205_flags_unbounded_delay_free_retry():
+    src = (
+        "def fetch(op):\n"
+        "    while True:\n"
+        "        try:\n"
+        "            return op()\n"
+        "        except TransientIOError:\n"
+        "            continue\n"
+    )
+    findings = lint_source(src, SIM_PATH)
+    assert rule_ids(findings) == ["RC205", "RC205"]
+    assert "bounded" in findings[0].message
+    assert "backoff" in findings[1].message
+    # Outside the sim packages the rule does not apply.
+    assert lint_source(src, HOST_PATH) == []
+
+
+def test_rc205_flags_bounded_retry_without_backoff():
+    src = (
+        "def fetch(op):\n"
+        "    for attempt in range(5):\n"
+        "        try:\n"
+        "            return op()\n"
+        "        except FlakyReadError:\n"
+        "            continue\n"
+    )
+    findings = lint_source(src, SIM_PATH)
+    assert rule_ids(findings) == ["RC205"]
+    assert "backoff" in findings[0].message
+
+
+def test_rc205_clean_on_bounded_backoff_retry():
+    src = (
+        "def fetch(engine, op, max_retries):\n"
+        "    attempt = 0\n"
+        "    while True:\n"
+        "        try:\n"
+        "            return op()\n"
+        "        except TransientIOError:\n"
+        "            attempt += 1\n"
+        "            if attempt > max_retries:\n"
+        "                raise\n"
+        "            yield engine.timeout(0.1 * attempt)\n"
+    )
+    assert lint_source(src, SIM_PATH) == []
+
+
+def test_rc205_ignores_propagating_and_bailing_handlers():
+    # A handler that re-raises or breaks is not a retry loop.
+    src = (
+        "def drain(ops):\n"
+        "    for op in ops:\n"
+        "        try:\n"
+        "            op()\n"
+        "        except PFSUnavailableError:\n"
+        "            raise\n"
+        "        except FlakyWriteError:\n"
+        "            break\n"
+    )
+    assert lint_source(src, SIM_PATH) == []
+
+
+def test_rc205_inner_retry_does_not_taint_outer_loop():
+    # The disciplined inner loop must not flag the undisciplined-
+    # looking outer sweep loop: attribution is innermost-loop only.
+    src = (
+        "def sweep(engine, points, op):\n"
+        "    for point in points:\n"
+        "        for attempt in range(3):\n"
+        "            try:\n"
+        "                op(point)\n"
+        "                break\n"
+        "            except TransientIOError:\n"
+        "                yield engine.timeout(2.0 ** attempt)\n"
     )
     assert lint_source(src, SIM_PATH) == []
 
