@@ -1,0 +1,174 @@
+"""Staging-cache prefetch benchmark: BD-CATS read stall, off vs on.
+
+Runs the BD-CATS-IO analysis kernel twice through
+:func:`~repro.harness.experiment.run_experiment` on the same machine,
+ranks and seed — once with an inert cache subsystem (``cache_mode=
+"off"``) and once with deadline prefetch enabled (``"on"``) — and
+gates that prefetch actually buys something:
+
+- both sides read exactly the same bytes (``total_bytes`` equal);
+- the prefetch-on side's read stall (slowest rank's summed read
+  blocking time) is below the off side's by at least
+  ``MIN_STALL_REDUCTION``;
+- every declared read landed by its deadline (``on_time_ratio == 1``)
+  on the uncontended testbed shape.
+
+The async VOL's own heuristic prefetcher is disabled on *both* sides,
+so the deadline planner is the only read-ahead in play and the
+comparison isolates the subsystem under test.
+
+Results land in ``BENCH_cache.json`` at the repository root.
+
+Run standalone (full shape)::
+
+    PYTHONPATH=src python benchmarks/bench_cache.py
+
+or in CI smoke mode (smaller shape, same JSON schema)::
+
+    PYTHONPATH=src python benchmarks/bench_cache.py --smoke
+
+Also collectable via pytest (runs the smoke shape and asserts the
+stall-reduction gate)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_cache.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+
+from repro.harness import run_experiment
+from repro.platform import testbed as make_testbed
+from repro.workloads import BDCATSConfig, bdcats_program, prepopulate_vpic_file
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_cache.json"
+
+#: Prefetch-on must cut the read stall by at least this factor.  The
+#: compute windows on both shapes are long enough to hide the whole
+#: epoch read, so the observed reduction is far larger; the floor only
+#: guards against the planner silently degrading to a no-op.
+MIN_STALL_REDUCTION = 0.3
+
+
+def _shape(smoke: bool):
+    cfg = BDCATSConfig(
+        particles_per_rank=(1 << 18) if smoke else (1 << 20),
+        n_properties=4 if smoke else 8,
+        steps=3,
+        compute_seconds=10.0 if smoke else 30.0,
+    )
+    nranks = 8 if smoke else 16
+    machine = make_testbed(nodes=nranks // 4, ranks_per_node=4)
+    return machine, cfg, nranks
+
+
+def run_side(machine, cfg, nranks, cache_mode):
+    result = run_experiment(
+        machine, "bdcats", bdcats_program, cfg, mode="async",
+        nranks=nranks, op="read",
+        prepopulate=lambda lib, n: prepopulate_vpic_file(lib, cfg, n),
+        vol_kwargs={"prefetcher": None},
+        cache_mode=cache_mode,
+    )
+    return {
+        "cache_mode": cache_mode,
+        "app_time_s": result.app_time,
+        "read_stall_s": result.read_stall_seconds,
+        "total_bytes": result.total_bytes,
+        "cache_stats": result.cache_stats,
+    }
+
+
+def run_bench(smoke=False, out=DEFAULT_OUT):
+    machine, cfg, nranks = _shape(smoke)
+    off = run_side(machine, cfg, nranks, "off")
+    on = run_side(machine, cfg, nranks, "on")
+    reduction = 1.0 - on["read_stall_s"] / off["read_stall_s"]
+    payload = {
+        "mode": "smoke" if smoke else "full",
+        "params": {
+            "nranks": nranks,
+            "particles_per_rank": cfg.particles_per_rank,
+            "n_properties": cfg.n_properties,
+            "steps": cfg.steps,
+        },
+        "off": off,
+        "on": on,
+        "stall_reduction": round(reduction, 4),
+        "min_stall_reduction": MIN_STALL_REDUCTION,
+    }
+    for side in (off, on):
+        print(
+            f"cache {side['cache_mode']:>3}: app {side['app_time_s']:.3f}s  "
+            f"read stall {side['read_stall_s']:.4f}s"
+        )
+    print(f"stall reduction: {reduction:.1%} "
+          f"(floor {MIN_STALL_REDUCTION:.0%})")
+    out = pathlib.Path(out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[saved to {out}]")
+    return payload
+
+
+def check_gate(payload):
+    """Human-readable gate failures; empty means pass."""
+    failures = []
+    off, on = payload["off"], payload["on"]
+    if on["total_bytes"] != off["total_bytes"]:
+        failures.append(
+            f"byte mismatch: on read {on['total_bytes']:.6g}B, "
+            f"off read {off['total_bytes']:.6g}B"
+        )
+    if payload["stall_reduction"] < payload["min_stall_reduction"]:
+        failures.append(
+            f"read-stall reduction {payload['stall_reduction']:.1%} is "
+            f"below the {payload['min_stall_reduction']:.0%} floor "
+            f"(off {off['read_stall_s']:.4f}s, on {on['read_stall_s']:.4f}s)"
+        )
+    stats = on["cache_stats"]
+    if stats["on_time_ratio"] < 1.0:
+        failures.append(
+            f"prefetches missed deadlines on the uncontended shape "
+            f"(on_time_ratio {stats['on_time_ratio']:.3f})"
+        )
+    if stats["hits"] == 0:
+        failures.append("prefetch-on run served zero cache hits")
+    return failures
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (smoke shape: cheap enough for CI)
+# ----------------------------------------------------------------------
+def test_prefetch_beats_no_cache_on_read_stall(tmp_path):
+    payload = run_bench(smoke=True, out=tmp_path / "BENCH_cache.json")
+    failures = check_gate(payload)
+    assert not failures, "; ".join(failures)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smaller shape (CI mode), same JSON schema",
+    )
+    parser.add_argument(
+        "--out", default=str(DEFAULT_OUT),
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+    out = pathlib.Path(args.out)
+    if not out.parent.is_dir():
+        parser.error(f"--out directory does not exist: {out.parent}")
+    payload = run_bench(smoke=args.smoke, out=out)
+    status = 0
+    for line in check_gate(payload):
+        print(f"FAIL: {line}")
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,9 @@ the same fleet with a zero-fault injector *attached* (callbacks
 registered, no events scheduled).  The two must produce byte-identical
 metrics and per-job records, and the attached side must not be
 measurably slower (same perf-budget gate as the allocator scenarios).
+A ``cache_off`` scenario applies the same treatment to the staging
+cache: one BD-CATS async run with an inert
+:class:`~repro.cache.CacheSubsystem` attached against the bare run.
 
 Results land in ``BENCH_sim.json`` at the repository root: wall seconds
 per side, speedup, the :class:`repro.sim.engine.EngineStats` counters,
@@ -268,6 +271,76 @@ def run_faults_off_overhead(smoke=False, repeats=1):
     }
 
 
+def run_cache_off_overhead(smoke=False, repeats=1):
+    """The staging-cache hooks must cost nothing when the cache is off.
+
+    Times one BD-CATS async run bare (``ref`` — no subsystem built)
+    against the same run with ``cache_mode="off"`` (``fast`` — an inert
+    :class:`~repro.cache.CacheSubsystem` is constructed and every VOL /
+    drain hook consults it, but all behavior flags are down).  The
+    experiment metrics must be byte-identical after dropping the
+    subsystem's own ``cache_stats`` snapshot, and the inert side is
+    gated against the stored budget floor.
+    """
+    import json as _json
+    from dataclasses import asdict
+
+    from repro.harness import run_experiment
+    from repro.platform import testbed as make_testbed
+    from repro.workloads import (
+        BDCATSConfig, bdcats_program, prepopulate_vpic_file,
+    )
+
+    cfg = BDCATSConfig(
+        particles_per_rank=(1 << 18) if smoke else (1 << 20),
+        n_properties=4, steps=3 if smoke else 5, compute_seconds=10.0,
+    )
+    nranks = 16 if smoke else 32
+    machine = make_testbed(nodes=nranks // 4, ranks_per_node=4)
+    # One run is a few milliseconds; a single timing would gate on
+    # scheduler noise, so take best-of-3 even in smoke mode.
+    repeats = max(repeats, 3)
+
+    def run_side(cache_mode):
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            result = run_experiment(
+                machine, "bdcats", bdcats_program, cfg, mode="async",
+                nranks=nranks, op="read",
+                prepopulate=lambda lib, n: prepopulate_vpic_file(lib, cfg, n),
+                cache_mode=cache_mode,
+            )
+            wall = time.perf_counter() - t0
+        finally:
+            gc.enable()
+        payload = asdict(result)
+        # The only permitted difference: the subsystem's own snapshot.
+        payload.pop("cache_stats")
+        return wall, _json.dumps(payload, sort_keys=True)
+
+    run_side(None)  # warmup: imports and allocator caches off the clock
+    off_wall = bare_wall = None
+    off_json = bare_json = None
+    for _ in range(repeats):
+        wall, off_json = run_side("off")
+        if off_wall is None or wall < off_wall:
+            off_wall = wall
+        wall, bare_json = run_side(None)
+        if bare_wall is None or wall < bare_wall:
+            bare_wall = wall
+    return {
+        "name": "cache_off",
+        "params": {"nranks": nranks,
+                   "particles_per_rank": cfg.particles_per_rank},
+        "fast_s": round(off_wall, 4),
+        "ref_s": round(bare_wall, 4),
+        "speedup": round(bare_wall / off_wall, 2),
+        "identical": off_json == bare_json,
+    }
+
+
 def run_bench(smoke=False, repeats=None, out=DEFAULT_OUT):
     if repeats is None:
         repeats = 1 if smoke else 3
@@ -281,13 +354,14 @@ def run_bench(smoke=False, repeats=None, out=DEFAULT_OUT):
             f"identical={row['identical']}  events={row['events']} "
             f"rebalances={row['rebalances']}"
         )
-    row = run_faults_off_overhead(smoke=smoke, repeats=repeats)
-    results.append(row)
-    print(
-        f"{row['name']:>16}: with-hooks {row['fast_s']:.3f}s "
-        f"bare {row['ref_s']:.3f}s  {row['speedup']:.2f}x  "
-        f"identical={row['identical']}"
-    )
+    for zero_cost in (run_faults_off_overhead, run_cache_off_overhead):
+        row = zero_cost(smoke=smoke, repeats=repeats)
+        results.append(row)
+        print(
+            f"{row['name']:>16}: with-hooks {row['fast_s']:.3f}s "
+            f"bare {row['ref_s']:.3f}s  {row['speedup']:.2f}x  "
+            f"identical={row['identical']}"
+        )
     sweep = run_sweep_scaling(smoke=smoke)
     rates = ", ".join(
         f"{w['workers']}w {w['points_per_sec']:.1f} pt/s"

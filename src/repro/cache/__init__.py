@@ -1,0 +1,52 @@
+"""Tiered staging cache with deadline-aware prefetch.
+
+The write side of the paper hides I/O behind compute by staging to
+DRAM and draining asynchronously; this subsystem generalizes that into
+a DRAM → node-local NVMe → PFS tier stack (:mod:`repro.cache.tiers`),
+per-node residency agents with LRU eviction (:mod:`repro.cache.agent`),
+a copy engine issuing tier-to-tier moves as simulated device flows
+(:mod:`repro.cache.engine`), and an EDF prefetch planner turning
+declared future reads into a deadline-ordered copy schedule with
+admission control (:mod:`repro.cache.planner`).
+:class:`~repro.cache.subsystem.CacheSubsystem` is the facade the async
+VOL, the workloads and the scheduler integrate against.
+"""
+
+from repro.cache.agent import Block, NodeAgent
+from repro.cache.engine import CopyEngine
+from repro.cache.metrics import CacheMetrics
+from repro.cache.planner import CacheRequest, PrefetchPlanner, cache_key
+from repro.cache.subsystem import CacheSubsystem
+from repro.cache.tiers import (
+    DRAM,
+    NVME,
+    PFS,
+    TIER_NAMES,
+    CacheTier,
+    TierSpec,
+    tier_preset,
+    tier_preset_names,
+    tier_presets,
+    tier_stack_for,
+)
+
+__all__ = [
+    "Block",
+    "CacheMetrics",
+    "CacheRequest",
+    "CacheSubsystem",
+    "CacheTier",
+    "CopyEngine",
+    "DRAM",
+    "NVME",
+    "NodeAgent",
+    "PFS",
+    "PrefetchPlanner",
+    "TIER_NAMES",
+    "TierSpec",
+    "cache_key",
+    "tier_preset",
+    "tier_preset_names",
+    "tier_presets",
+    "tier_stack_for",
+]

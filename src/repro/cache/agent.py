@@ -1,0 +1,201 @@
+"""Per-node cache agent: residency maps and LRU eviction.
+
+A :class:`NodeAgent` owns the tier ledgers of one compute node and the
+map of which block lives where.  It is purely bookkeeping — moving the
+bytes is the :class:`~repro.cache.engine.CopyEngine`'s job — so its
+decisions (admit / evict / reject) are instantaneous and deterministic:
+eviction order is strict LRU by a monotone touch counter, never by
+iteration over an unordered container.
+
+Invariants:
+
+- a block in state ``"inflight"`` is **never evictable** — its copy is
+  still writing to the tier, and yanking the ledger bytes out from
+  under an active flow would corrupt accounting (mandated test:
+  eviction must skip in-flight blocks);
+- pinned blocks (a reader is waiting on them) are never evictable;
+- when admission cannot free enough space from evictable blocks the
+  agent raises :class:`~repro.faults.CacheAdmissionError` and the tier
+  ledger is left exactly as it was.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cache.metrics import CacheMetrics
+from repro.cache.tiers import CacheTier, TierSpec
+from repro.faults.errors import CacheAdmissionError
+from repro.sim.engine import Engine, SimEvent
+
+__all__ = ["Block", "NodeAgent"]
+
+
+class Block:
+    """One cached byte range on one tier of one node.
+
+    ``ready`` fires when the block becomes resident — and, like the
+    async VOL's prefetch slots, it *always succeeds*: a failed copy
+    succeeds the event too and flips ``state`` to ``"failed"``, so a
+    waiting reader checks ``state`` afterwards and falls back to a
+    source-tier read instead of having to handle event failure.
+    """
+
+    __slots__ = ("key", "nbytes", "tier", "state", "seq", "pins", "ready",
+                 "deadline")
+
+    def __init__(self, key: tuple, nbytes: float, tier: str,
+                 ready: SimEvent, deadline: float = float("inf")):
+        self.key = key
+        self.nbytes = nbytes
+        self.tier = tier
+        #: ``"inflight"`` → ``"resident"`` | ``"failed"``.
+        self.state = "inflight"
+        #: LRU touch counter (monotone; higher = more recent).
+        self.seq = 0
+        #: Readers currently waiting on / consuming this block.
+        self.pins = 0
+        self.ready = ready
+        self.deadline = deadline
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Block {self.key} {self.nbytes:.3g}B on {self.tier} "
+                f"[{self.state}]>")
+
+
+class NodeAgent:
+    """Residency map and eviction policy for one node's tier stack."""
+
+    def __init__(self, engine: Engine, node_index: int,
+                 tiers: tuple[TierSpec, ...], metrics: CacheMetrics,
+                 device_free: Optional[Callable[[str, float], None]] = None):
+        self.engine = engine
+        self.node_index = node_index
+        #: tier name -> strict byte ledger (PFS excluded: it is the
+        #: backing store, not cache space this agent manages).
+        self.tiers: dict[str, CacheTier] = {
+            spec.name: CacheTier(spec) for spec in tiers
+            if spec.name != "pfs"
+        }
+        self.metrics = metrics
+        #: ``(tier, nbytes)`` callback releasing device-side space when
+        #: a block leaves a tier (node-local SSD ledger).
+        self.device_free = device_free
+        self._blocks: dict[tuple, Block] = {}
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, key: tuple) -> Optional[Block]:
+        """The block cached under ``key``, touched for LRU; or None."""
+        block = self._blocks.get(key)
+        if block is not None:
+            self._clock += 1
+            block.seq = self._clock
+        return block
+
+    def resident_bytes(self, tier: Optional[str] = None) -> float:
+        """Bytes of *resident* blocks, on ``tier`` or on all tiers."""
+        return sum(
+            b.nbytes for b in self._blocks.values()
+            if b.state == "resident" and (tier is None or b.tier == tier)
+        )
+
+    # ------------------------------------------------------------------
+    # Admission / eviction
+    # ------------------------------------------------------------------
+    def admit(self, key: tuple, nbytes: float, tier: str,
+              deadline: float = float("inf")) -> Block:
+        """Claim space for ``key`` on ``tier``, evicting LRU if needed.
+
+        Returns the new in-flight :class:`Block` (the caller runs the
+        copy and then calls :meth:`mark_resident` / :meth:`mark_failed`).
+        Raises :class:`CacheAdmissionError` when the tier cannot hold
+        the block even after evicting everything evictable, leaving all
+        ledgers untouched.
+        """
+        if key in self._blocks:
+            raise RuntimeError(f"block {key} already cached on "
+                               f"node {self.node_index}")
+        ledger = self._tier(tier)
+        if nbytes > ledger.spec.capacity_bytes:
+            raise CacheAdmissionError(
+                f"block {key} ({nbytes:.3g}B) exceeds tier {tier!r} "
+                f"capacity {ledger.spec.capacity_bytes:.3g}B on "
+                f"node {self.node_index}"
+            )
+        if not ledger.fits(nbytes):
+            shortfall = nbytes - ledger.free_bytes
+            victims = self._plan_eviction(tier, shortfall)
+            if victims is None:
+                raise CacheAdmissionError(
+                    f"tier {tier!r} on node {self.node_index} is full "
+                    f"({ledger.free_bytes:.3g}B free, {nbytes:.3g}B "
+                    f"needed) and nothing is evictable"
+                )
+            for victim in victims:
+                self._evict(victim)
+        ledger.take(nbytes)
+        block = Block(key, nbytes, tier,
+                      self.engine.event(f"cache-ready:{key}"),
+                      deadline=deadline)
+        self._clock += 1
+        block.seq = self._clock
+        self._blocks[key] = block
+        return block
+
+    def _plan_eviction(self, tier: str,
+                       shortfall: float) -> Optional[list[Block]]:
+        """LRU victims freeing ``shortfall`` bytes, or None if impossible."""
+        candidates = sorted(
+            (b for b in self._blocks.values()
+             if b.tier == tier and b.state == "resident" and b.pins == 0),
+            key=lambda b: b.seq,
+        )
+        victims: list[Block] = []
+        freed = 0.0
+        for block in candidates:
+            victims.append(block)
+            freed += block.nbytes
+            if freed >= shortfall:
+                return victims
+        return None
+
+    def _evict(self, block: Block) -> None:
+        del self._blocks[block.key]
+        self._tier(block.tier).give(block.nbytes)
+        if self.device_free is not None:
+            self.device_free(block.tier, block.nbytes)
+        self.metrics.evictions += 1
+
+    def drop(self, key: tuple) -> None:
+        """Remove ``key`` outright (failed copy cleanup — not an
+        eviction for metrics purposes)."""
+        block = self._blocks.pop(key)
+        self._tier(block.tier).give(block.nbytes)
+        if self.device_free is not None and block.state == "resident":
+            self.device_free(block.tier, block.nbytes)
+
+    # ------------------------------------------------------------------
+    # Copy-completion transitions
+    # ------------------------------------------------------------------
+    def mark_resident(self, block: Block) -> None:
+        """The copy filling ``block`` finished: wake waiting readers."""
+        block.state = "resident"
+        block.ready.succeed()
+
+    def mark_failed(self, block: Block) -> None:
+        """The copy filling ``block`` aborted: free the space, wake
+        readers so they fall back to the source tier."""
+        block.state = "failed"
+        self.drop(block.key)
+        block.ready.succeed()
+
+    def _tier(self, name: str) -> CacheTier:
+        if name not in self.tiers:
+            raise ValueError(
+                f"node {self.node_index} has no cache tier {name!r} "
+                f"(tiers: {sorted(self.tiers)})"
+            )
+        return self.tiers[name]

@@ -1,0 +1,107 @@
+"""Copy engine: tier-to-tier moves as simulated device flows.
+
+The :class:`CopyEngine` turns a planner decision ("bring block B from
+``pfs`` to ``dram`` on node 3") into the device operations the platform
+layer already models — PFS client flows, node-local SSD flows, burst
+buffer flows, host memcpys — so cached bytes compete for the same
+links as foreground I/O and contention falls out of the network
+allocator, not a side model.
+
+Every issued copy is appended to :attr:`CopyEngine.schedule` at issue
+time; the list is a pure function of the request stream and the seed,
+which the determinism tests replay (same seed → byte-identical copy
+schedule).
+
+Fault interaction: copies touching the ``nvme`` tier consult
+``FaultInjector.tier_hook`` *before any bytes move*, so an injected
+:class:`~repro.faults.TierDegradedError` always leaves the source tier
+intact and the copy bypass- or retry-safe.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.metrics import CacheMetrics
+from repro.cache.tiers import DRAM, NVME, PFS, TierSpec
+from repro.platform.cluster import Cluster, Node
+from repro.platform.storage import FileTarget
+
+__all__ = ["CopyEngine"]
+
+
+class CopyEngine:
+    """Schedules tier-to-tier copies as simulated events."""
+
+    def __init__(self, cluster: Cluster, tiers: dict[str, TierSpec],
+                 metrics: CacheMetrics, faults=None):
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.tiers = tiers
+        self.metrics = metrics
+        self.faults = faults
+        #: (t_issue, node_index, tier_src, tier_dst, nbytes) per copy,
+        #: in issue order — the replay-determinism artifact.
+        self.schedule: list[tuple[float, int, str, str, float]] = []
+
+    def copy(self, node: Node, src: str, dst: str, nbytes: float,
+             target: Optional[FileTarget] = None, tag=None):
+        """Generator moving ``nbytes`` from tier ``src`` to ``dst``.
+
+        Charges the fixed per-op latency of both endpoint tiers, then
+        runs the device flows leg by leg.  ``target`` is required when
+        either endpoint is the PFS.
+        """
+        for name in (src, dst):
+            if name not in self.tiers:
+                raise ValueError(f"unknown tier {name!r} in copy "
+                                 f"{src!r}->{dst!r}")
+        if src == dst and src != DRAM:
+            raise ValueError(f"degenerate copy {src!r}->{dst!r}")
+        if PFS in (src, dst) and target is None:
+            raise ValueError("PFS-endpoint copies need a FileTarget")
+        if self.faults is not None and NVME in (src, dst):
+            self.faults.tier_hook(node.index, nbytes, tag)
+        self.schedule.append((self.engine.now, node.index, src, dst, nbytes))
+        latency = self.tiers[src].latency + self.tiers[dst].latency
+        if latency > 0.0:
+            yield self.engine.timeout(latency)
+        if src == PFS:
+            yield self.cluster.pfs_read(node, target, nbytes, tag=tag)
+        elif src == NVME:
+            yield self._nvme_read(node, nbytes, tag)
+        if dst == PFS:
+            yield self.cluster.pfs_write(node, target, nbytes, tag=tag)
+        elif dst == NVME:
+            yield self._nvme_write(node, nbytes, tag)
+        elif dst == DRAM and src == DRAM:
+            yield self.cluster.memcpy(node, nbytes, tag=tag)
+        self.metrics.count_copy(dst, nbytes)
+
+    # ------------------------------------------------------------------
+    # NVMe leg: node-local drive when present, burst buffer otherwise
+    # ------------------------------------------------------------------
+    def _nvme_write(self, node: Node, nbytes: float, tag):
+        if node.spec.local_ssd is not None:
+            return node.ssd.write(nbytes, tag=tag)
+        return self._burst_buffer(node).write(node, nbytes, tag=tag)
+
+    def _nvme_read(self, node: Node, nbytes: float, tag):
+        if node.spec.local_ssd is not None:
+            return node.ssd.read(nbytes, tag=tag)
+        return self._burst_buffer(node).read(node, nbytes, tag=tag)
+
+    def nvme_release(self, node: Node, nbytes: float) -> None:
+        """Free device-side space backing an evicted/dropped block
+        (the burst buffer has no per-node ledger to release)."""
+        if node.spec.local_ssd is not None:
+            node.ssd.evict(nbytes)
+
+    def _burst_buffer(self, node: Node):
+        bb = self.cluster.burst_buffer
+        if bb is None:
+            raise ValueError(
+                f"node {node.index} has neither a local SSD nor a "
+                f"burst buffer to back the nvme tier"
+            )
+        return bb

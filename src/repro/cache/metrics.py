@@ -1,0 +1,79 @@
+"""Counters for the staging cache: hits, deadlines, bytes per tier.
+
+One :class:`CacheMetrics` instance is shared by every component of a
+:class:`~repro.cache.CacheSubsystem` (node agents, copy engine,
+prefetch planner), so a single snapshot describes the whole run.  All
+fields are plain counters incremented at simulated-event boundaries —
+no wall clock, no randomness — and :meth:`snapshot` emits them in
+sorted-key order so serialized artifacts are byte-stable across worker
+counts and platforms.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CacheMetrics"]
+
+
+class CacheMetrics:
+    """Shared counters for one cache subsystem instance."""
+
+    __slots__ = (
+        "hits", "misses", "prefetch_on_time", "prefetch_late",
+        "prefetch_rejected", "prefetch_failed", "evictions",
+        "bytes_to_tier",
+    )
+
+    def __init__(self):
+        #: Reads served from a resident (or in-flight) cache block.
+        self.hits = 0
+        #: Reads that went to the source tier directly.
+        self.misses = 0
+        #: Prefetches resident at or before their declared deadline.
+        self.prefetch_on_time = 0
+        #: Prefetches that became resident after their deadline.
+        self.prefetch_late = 0
+        #: Prefetch requests refused at admission (no tier had room).
+        self.prefetch_rejected = 0
+        #: Prefetch copies aborted by an injected fault (served from
+        #: the source tier instead; counts as a missed deadline).
+        self.prefetch_failed = 0
+        #: Resident blocks displaced to make room.
+        self.evictions = 0
+        #: Bytes copied *into* each tier, by tier name.
+        self.bytes_to_tier: dict[str, float] = {}
+
+    def count_copy(self, tier_dst: str, nbytes: float) -> None:
+        """Account ``nbytes`` landing on ``tier_dst``."""
+        self.bytes_to_tier[tier_dst] = (
+            self.bytes_to_tier.get(tier_dst, 0.0) + nbytes
+        )
+
+    @property
+    def hit_ratio(self) -> float:
+        """Cache hits over all tracked reads (0.0 when none)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def on_time_ratio(self) -> float:
+        """Deadline-met prefetches over all completed ones (1.0 when
+        nothing was prefetched — an empty schedule misses nothing)."""
+        done = self.prefetch_on_time + self.prefetch_late + self.prefetch_failed
+        return self.prefetch_on_time / done if done else 1.0
+
+    def snapshot(self) -> dict:
+        """Counters as a sorted, JSON-ready dict."""
+        return {
+            "bytes_to_tier": {
+                k: self.bytes_to_tier[k] for k in sorted(self.bytes_to_tier)
+            },
+            "evictions": self.evictions,
+            "hit_ratio": self.hit_ratio,
+            "hits": self.hits,
+            "misses": self.misses,
+            "on_time_ratio": self.on_time_ratio,
+            "prefetch_failed": self.prefetch_failed,
+            "prefetch_late": self.prefetch_late,
+            "prefetch_on_time": self.prefetch_on_time,
+            "prefetch_rejected": self.prefetch_rejected,
+        }

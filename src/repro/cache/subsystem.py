@@ -1,0 +1,167 @@
+"""The staging-cache facade: one object the rest of the stack talks to.
+
+A :class:`CacheSubsystem` bundles the tier model, per-node agents, the
+copy engine and the prefetch planner behind the few operations the
+async VOL and the workloads need:
+
+- ``lookup`` / ``serve`` — read-path residency check and warm-tier
+  delivery (DRAM memcpy or NVMe read instead of a PFS round trip);
+- ``stage_write`` / ``stage_read`` / ``stage_release`` — the
+  write-through drain hop (DRAM → NVMe → PFS) used by
+  :class:`~repro.hdf5.async_vol.AsyncVOL`;
+- ``planner.submit`` — deadline-declared future reads;
+- ``warm_bytes`` — per-node residency telemetry for
+  :class:`~repro.sched.policies.IOAwarePolicy` placement.
+
+Zero-cost-off: constructing the subsystem touches no engine state, and
+with ``write_through=False, prefetch=False`` every hook degenerates to
+a cheap predicate — the event schedule of a run with an inert
+subsystem is byte-identical to one with no subsystem at all (the
+``cache_off`` perf-budget gate enforces this).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.agent import Block, NodeAgent
+from repro.cache.engine import CopyEngine
+from repro.cache.metrics import CacheMetrics
+from repro.cache.planner import PrefetchPlanner
+from repro.cache.tiers import DRAM, NVME, TierSpec, tier_stack_for
+from repro.faults.errors import CacheAdmissionError
+from repro.platform.cluster import Cluster, Node
+
+__all__ = ["CacheSubsystem"]
+
+
+class CacheSubsystem:
+    """Tiered staging cache over one cluster's nodes."""
+
+    def __init__(self, cluster: Cluster,
+                 tiers: Optional[tuple[TierSpec, ...]] = None,
+                 faults=None, write_through: bool = True,
+                 prefetch: bool = True, dram_fraction: float = 0.1):
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.tiers: tuple[TierSpec, ...] = (
+            tiers if tiers is not None
+            else tier_stack_for(cluster.machine, dram_fraction=dram_fraction)
+        )
+        self.tier_specs: dict[str, TierSpec] = {
+            t.name: t for t in self.tiers
+        }
+        self.write_through = write_through
+        self.prefetch = prefetch
+        self.metrics = CacheMetrics()
+        self.copy_engine = CopyEngine(cluster, self.tier_specs, self.metrics,
+                                      faults=faults)
+        self.planner = PrefetchPlanner(self.copy_engine, self.metrics,
+                                       self.agent)
+        self._faults = faults
+        self._agents: dict[int, NodeAgent] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any cache behavior is on (inert subsystems are the
+        ``cache off`` baseline of the perf gate)."""
+        return self.write_through or self.prefetch
+
+    # ------------------------------------------------------------------
+    # Agents
+    # ------------------------------------------------------------------
+    def agent(self, node_index: int) -> NodeAgent:
+        """The (lazily created) cache agent of one node."""
+        agent = self._agents.get(node_index)
+        if agent is None:
+            node = self.cluster.nodes[node_index]
+            specs = tuple(
+                t for t in self.tiers
+                if not (t.name == NVME and node.spec.local_ssd is None
+                        and self.cluster.burst_buffer is None)
+            )
+            agent = NodeAgent(
+                self.engine, node_index, specs, self.metrics,
+                device_free=lambda tier, nbytes, _node=node:
+                    self.copy_engine.nvme_release(_node, nbytes)
+                    if tier == NVME else None,
+            )
+            self._agents[node_index] = agent
+        return agent
+
+    def has_nvme(self, node: Node) -> bool:
+        """Whether ``node`` has a middle tier to write through."""
+        return NVME in self.agent(node.index).tiers
+
+    # ------------------------------------------------------------------
+    # Read path (used by AsyncVOL.dataset_read)
+    # ------------------------------------------------------------------
+    def lookup(self, node: Node, key: tuple) -> Optional[Block]:
+        """The block cached under ``key`` on ``node``, or None."""
+        return self.agent(node.index).lookup(key)
+
+    def serve(self, node: Node, block: Block, tag=None):
+        """Generator delivering a *resident* block to the reader."""
+        if block.state != "resident":
+            raise RuntimeError(f"cannot serve non-resident {block!r}")
+        block.pins += 1
+        try:
+            if block.tier == DRAM:
+                yield self.cluster.memcpy(node, block.nbytes, tag=tag)
+            elif block.tier == NVME:
+                yield self.copy_engine._nvme_read(node, block.nbytes, tag)
+            else:
+                raise RuntimeError(f"unservable tier {block.tier!r}")
+        finally:
+            block.pins -= 1
+
+    # ------------------------------------------------------------------
+    # Write-through drain hops (used by AsyncVOL._bg_write_batch)
+    # ------------------------------------------------------------------
+    def stage_write(self, node: Node, nbytes: float, tag=None):
+        """Generator hopping ``nbytes`` of drained writes DRAM → NVMe.
+
+        Claims tier space first (raising
+        :class:`~repro.faults.CacheAdmissionError` when the tier is
+        full — the drain then bypasses straight to the PFS) and
+        consults the tier fault hook before any bytes move.
+        """
+        agent = self.agent(node.index)
+        tier = agent.tiers[NVME]
+        if self._faults is not None:
+            self._faults.tier_hook(node.index, nbytes, tag)
+        if not tier.fits(nbytes):
+            raise CacheAdmissionError(
+                f"nvme tier on node {node.index} full "
+                f"({tier.free_bytes:.3g}B free, {nbytes:.3g}B needed)"
+            )
+        tier.take(nbytes)
+        try:
+            yield self.copy_engine._nvme_write(node, nbytes, tag)
+        except BaseException:
+            tier.give(nbytes)
+            raise
+        self.metrics.count_copy(NVME, nbytes)
+
+    def stage_read(self, node: Node, nbytes: float, tag=None):
+        """Generator reading staged drain bytes back off the NVMe tier."""
+        yield self.copy_engine._nvme_read(node, nbytes, tag)
+
+    def stage_release(self, node: Node, nbytes: float) -> None:
+        """Free NVMe tier + device space once staged bytes hit the PFS."""
+        self.agent(node.index).tiers[NVME].give(nbytes)
+        self.copy_engine.nvme_release(node, nbytes)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def warm_bytes(self) -> dict[int, float]:
+        """Resident cache bytes per node (sorted keys), for placement."""
+        return {
+            index: self._agents[index].resident_bytes()
+            for index in sorted(self._agents)
+        }
+
+    def snapshot(self) -> dict:
+        """The metrics snapshot (JSON-ready, sorted keys)."""
+        return self.metrics.snapshot()

@@ -1,0 +1,209 @@
+"""Tier model of the staging cache: DRAM → node-local NVMe → PFS.
+
+The paper's async VOL stages to a *single* DRAM buffer and drains to
+the PFS; this module generalizes that pair into an ordered stack of
+:class:`TierSpec` levels, each with capacity, read/write bandwidth and
+a per-operation latency drawn from the machine description that the
+rest of the simulator already uses (:mod:`repro.platform.spec` /
+:mod:`repro.platform.storage`).  The cost constants follow the NVM
+performance-modeling line of work (arXiv:1705.03598): a tier is fully
+characterized by how fast bytes enter, how fast they leave, how much
+fits, and the fixed per-op charge.
+
+:class:`CacheTier` is the runtime ledger of one tier *on one node*.
+Accounting is strict in the style of
+:class:`~repro.hdf5.async_vol.Reservation`: double-release and
+over-release raise instead of clamping, so a leak in eviction code
+cannot masquerade as free space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.platform.spec import MachineSpec
+
+__all__ = [
+    "DRAM",
+    "NVME",
+    "PFS",
+    "TIER_NAMES",
+    "CacheTier",
+    "TierSpec",
+    "tier_preset",
+    "tier_preset_names",
+    "tier_presets",
+    "tier_stack_for",
+]
+
+#: Canonical tier names, fastest first.
+DRAM = "dram"
+NVME = "nvme"
+PFS = "pfs"
+TIER_NAMES = (DRAM, NVME, PFS)
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One level of the staging hierarchy.
+
+    ``capacity_bytes`` may be ``math.inf`` (the PFS backs everything);
+    bandwidths are per-node B/s; ``latency`` is the fixed per-operation
+    charge (device submission / metadata cost) paid before bytes move.
+    """
+
+    name: str
+    capacity_bytes: float
+    read_bandwidth: float
+    write_bandwidth: float
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.name not in TIER_NAMES:
+            raise ValueError(
+                f"tier name must be one of {TIER_NAMES}, got {self.name!r}"
+            )
+        if self.capacity_bytes <= 0:
+            raise ValueError(f"tier capacity must be positive: {self}")
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise ValueError(f"tier bandwidths must be positive: {self}")
+        if self.latency < 0:
+            raise ValueError(f"tier latency must be non-negative: {self}")
+
+
+class CacheTier:
+    """Strict byte ledger of one tier on one node."""
+
+    __slots__ = ("spec", "used")
+
+    def __init__(self, spec: TierSpec):
+        self.spec = spec
+        self.used = 0.0
+
+    @property
+    def name(self) -> str:
+        """The tier's canonical name (``dram`` / ``nvme`` / ``pfs``)."""
+        return self.spec.name
+
+    @property
+    def free_bytes(self) -> float:
+        """Unclaimed capacity on this tier."""
+        return self.spec.capacity_bytes - self.used
+
+    def fits(self, nbytes: float) -> bool:
+        """Whether ``nbytes`` can be taken without eviction."""
+        return nbytes <= self.free_bytes
+
+    def take(self, nbytes: float) -> None:
+        """Claim ``nbytes``; raises when the tier cannot hold them."""
+        if nbytes <= 0:
+            raise ValueError(f"take of non-positive {nbytes:.3g}B")
+        if not self.fits(nbytes):
+            raise RuntimeError(
+                f"tier {self.name!r} over-claim: {nbytes:.3g}B with only "
+                f"{self.free_bytes:.3g}B of {self.spec.capacity_bytes:.3g}B "
+                f"free"
+            )
+        self.used += nbytes
+
+    def give(self, nbytes: float) -> None:
+        """Return ``nbytes``; over-release raises (strict accounting)."""
+        if nbytes > self.used + 1e-6:
+            raise RuntimeError(
+                f"tier {self.name!r} over-release of {nbytes:.3g}B "
+                f"(only {self.used:.3g}B claimed)"
+            )
+        self.used = max(0.0, self.used - nbytes)
+
+
+def tier_stack_for(machine: MachineSpec,
+                   dram_fraction: float = 0.1) -> tuple[TierSpec, ...]:
+    """Derive a machine's tier stack from its platform description.
+
+    - **dram**: ``dram_fraction`` of node DRAM as cache space, moving
+      at the node's memcpy aggregate rate (separate from the async
+      VOL's staging buffer, which holds in-flight writes).
+    - **nvme**: the node-local SSD when present, else the shared burst
+      buffer (capacity far above any cache need, the Cori shape).
+      Machines with neither simply have no middle tier.
+    - **pfs**: unbounded, at the file system's peak — per-request cost
+      still goes through :class:`~repro.platform.storage` flows, so
+      this spec only names the tier and its metadata latency.
+    """
+    if not 0.0 < dram_fraction <= 1.0:
+        raise ValueError(f"dram_fraction must be in (0,1], got {dram_fraction}")
+    node = machine.node
+    tiers = [TierSpec(
+        name=DRAM,
+        capacity_bytes=node.dram_bytes * dram_fraction,
+        read_bandwidth=node.memcpy.node_aggregate,
+        write_bandwidth=node.memcpy.node_aggregate,
+        latency=0.0,
+    )]
+    if node.local_ssd is not None:
+        tiers.append(TierSpec(
+            name=NVME,
+            capacity_bytes=node.local_ssd.capacity_bytes,
+            read_bandwidth=node.local_ssd.read_bandwidth,
+            write_bandwidth=node.local_ssd.write_bandwidth,
+            latency=1e-4,
+        ))
+    elif machine.burst_buffer_bandwidth > 0:
+        tiers.append(TierSpec(
+            name=NVME,
+            capacity_bytes=100e15,
+            read_bandwidth=machine.burst_buffer_bandwidth,
+            write_bandwidth=machine.burst_buffer_bandwidth,
+            latency=1e-4,
+        ))
+    tiers.append(TierSpec(
+        name=PFS,
+        capacity_bytes=math.inf,
+        read_bandwidth=machine.filesystem.peak_bandwidth,
+        write_bandwidth=machine.filesystem.peak_bandwidth,
+        latency=machine.filesystem.metadata_latency,
+    ))
+    return tuple(tiers)
+
+
+def _preset_machines() -> dict:
+    from repro.platform.machines import (
+        cori_haswell, exascale_testbed, summit, testbed,
+    )
+
+    return {
+        "summit": summit,
+        "cori-haswell": cori_haswell,
+        "testbed": testbed,
+        "exascale-testbed": exascale_testbed,
+    }
+
+
+def tier_preset_names() -> list[str]:
+    """Names accepted by :func:`tier_preset`, sorted."""
+    return sorted(_preset_machines())
+
+
+def tier_preset(name: str) -> tuple[TierSpec, ...]:
+    """The named machine's derived tier stack."""
+    machines = _preset_machines()
+    if name not in machines:
+        raise ValueError(
+            f"unknown tier preset {name!r}; choose from {sorted(machines)}"
+        )
+    return tier_stack_for(machines[name]())
+
+
+def tier_presets() -> list[tuple[str, str]]:
+    """(name, one-line description) pairs for ``repro list``."""
+    out = []
+    for name in tier_preset_names():
+        stack = tier_preset(name)
+        legs = " -> ".join(
+            t.name if math.isinf(t.capacity_bytes)
+            else f"{t.name} {t.capacity_bytes / 1e9:.3g}GB"
+            for t in stack
+        )
+        out.append((name, legs))
+    return out

@@ -40,6 +40,16 @@ Commands
         python -m repro sweep --workload vpic --scales 8 16 \\
             --seeds 0 1 2 3 --workers 4 --out sweep.json
 
+``cache``
+    Run a read workload through the tiered staging cache (async VOL +
+    :mod:`repro.cache`) and print hit/deadline/bytes-per-tier metrics;
+    with ``--seeds`` it fans a cache-axis grid across workers into a
+    worker-count-invariant JSON artifact::
+
+        python -m repro cache --workload bdcats --ranks 8 --prefetch on
+        python -m repro cache --workload bdcats --seeds 0 1 2 \\
+            --workers 2 --out cache.json
+
 ``check``
     Static analysis + optional runtime checking (the repo's own
     invariants: determinism, typed errors, hygiene)::
@@ -171,6 +181,13 @@ def _cmd_list(_args) -> int:
     from repro.harness.sweepengine import sweepable_grids
     for name, desc in sweepable_grids():
         print(f"  {name:{width}s}  {desc}")
+    print()
+    print("tier presets (staging-cache stacks for 'cache' --tiers; "
+          "'auto' derives from the run machine):")
+    from repro.cache import tier_presets
+    width_t = max(len(n) for n, _ in tier_presets())
+    for name, desc in tier_presets():
+        print(f"  {name:{width_t}s}  {desc}")
     print()
     print("fault scenarios (seeded chaos presets; 'sched'/'sweep' "
           "--fault-rate uses the same rate unit):")
@@ -479,6 +496,76 @@ def _cmd_check(args) -> int:
     return exit_code
 
 
+def _cmd_cache(args) -> int:
+    cache_mode = "on" if args.prefetch == "on" else "off"
+    if args.seeds:
+        # Grid mode: (seed) axis at the chosen cache mode, merged into
+        # a worker-count-invariant artifact (the CI cache-smoke gate).
+        from repro.harness.sweepengine import SweepSpec, run_sweep
+
+        _workload_entry(args.workload)  # validate early
+        spec = SweepSpec(
+            kind="workload", workload=args.workload,
+            machines=(args.machine,), modes=("async",),
+            scales=(float(args.ranks),), seeds=tuple(args.seeds),
+            cache=(cache_mode,),
+        )
+        outcome = run_sweep(spec, workers=args.workers,
+                            progress=_sweep_progress)
+        failed = [p for p in outcome.merged["points"] if not p["ok"]]
+        for p in outcome.merged["points"]:
+            if not p["ok"]:
+                print(f"seed {p['seed']:<4d} FAILED "
+                      f"[{p['error']['family']}] {p['error']['kind']}")
+                continue
+            m = p["metrics"]
+            stats = m.get("cache_stats") or {}
+            print(f"seed {p['seed']:<4d} read stall "
+                  f"{m['read_stall_seconds']:.3f} s  hit ratio "
+                  f"{stats.get('hit_ratio', 0.0):.2f}  on-time "
+                  f"{stats.get('on_time_ratio', 1.0):.2f}")
+        if args.out:
+            pathlib.Path(args.out).write_text(outcome.to_json())
+            print(f"merged artifact -> {args.out}")
+        return 1 if failed else 0
+
+    from repro.cache import tier_preset
+
+    machine = _MACHINES[args.machine]()
+    tiers = None if args.tiers == "auto" else tier_preset(args.tiers)
+    program_factory, config_factory, prepopulate_factory, op = (
+        _workload_entry(args.workload)
+    )
+    config = config_factory()
+    prepopulate = (prepopulate_factory(config)
+                   if prepopulate_factory is not None else None)
+    # The VOL's own heuristic prefetcher is disabled so the planner's
+    # declared-read schedule is the only read-ahead in play.
+    result = run_experiment(
+        machine, args.workload, program_factory, config, mode="async",
+        nranks=args.ranks, prepopulate=prepopulate, op=op,
+        vol_kwargs={"prefetcher": None}, cache_mode=cache_mode,
+        cache_tiers=tiers,
+    )
+    stats = result.cache_stats or {}
+    print(f"workload        {result.workload} ({op})")
+    print(f"machine         {result.machine}")
+    print(f"tiers           {args.tiers}")
+    print(f"prefetch        {args.prefetch}")
+    print(f"ranks / nodes   {result.nranks} / {result.nnodes}")
+    print(f"app time        {result.app_time:.2f} s (simulated)")
+    print(f"read stall      {result.read_stall_seconds:.3f} s "
+          f"(slowest rank)")
+    print(f"hit ratio       {stats.get('hit_ratio', 0.0):.2f} "
+          f"({stats.get('hits', 0)} hits / {stats.get('misses', 0)} misses)")
+    print(f"on-time ratio   {stats.get('on_time_ratio', 1.0):.2f} "
+          f"({stats.get('prefetch_late', 0)} late, "
+          f"{stats.get('prefetch_rejected', 0)} rejected)")
+    for tier, nbytes in sorted(stats.get("bytes_to_tier", {}).items()):
+        print(f"bytes -> {tier:6s} {nbytes / 1e9:.3f} GB")
+    return 0
+
+
 def _cmd_run(args) -> int:
     if args.seeds:
         # Seed-grid mode: the same experiment across contention days,
@@ -655,6 +742,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--quiet", action="store_true",
                          help="suppress per-point progress on stderr")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="run a workload through the tiered staging cache and print "
+             "hit/deadline metrics; --seeds fans a worker-count-"
+             "invariant grid",
+    )
+    p_cache.add_argument("--workload", default="bdcats",
+                         help="workload name (read workloads benefit; "
+                              "see 'list')")
+    p_cache.add_argument("--machine", choices=sorted(_MACHINES),
+                         default="summit")
+    p_cache.add_argument("--ranks", type=int, default=8)
+    p_cache.add_argument("--tiers", default="auto",
+                         help="'auto' (derive from --machine) or a tier "
+                              "preset name from 'list' (single-run mode "
+                              "only)")
+    p_cache.add_argument("--prefetch", choices=["on", "off"], default="on",
+                         help="deadline-declared read prefetch (off = "
+                              "inert-cache baseline)")
+    p_cache.add_argument("--seeds", type=int, nargs="+", default=None,
+                         help="run a contention-day seed grid instead of "
+                              "one experiment")
+    p_cache.add_argument("--workers", type=int, default=1,
+                         help="worker processes for --seeds grids")
+    p_cache.add_argument("--out", default=None,
+                         help="write the merged JSON artifact (--seeds "
+                              "mode)")
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_check = sub.add_parser(
         "check",

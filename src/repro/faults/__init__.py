@@ -8,6 +8,7 @@ experiment lives in :mod:`repro.harness.recovery`.
 """
 
 from repro.faults.errors import (
+    CacheAdmissionError,
     FaultError,
     FlakyReadError,
     FlakyWriteError,
@@ -16,6 +17,7 @@ from repro.faults.errors import (
     RetryExhaustedError,
     SSDFaultError,
     StagingTimeoutError,
+    TierDegradedError,
     TransientIOError,
     WorkerCrashError,
     WorkerStallError,
@@ -35,6 +37,7 @@ from repro.faults.scenarios import (
 )
 
 __all__ = [
+    "CacheAdmissionError",
     "FaultConfig",
     "FaultError",
     "FaultEvent",
@@ -49,6 +52,7 @@ __all__ = [
     "SSDFaultError",
     "SlowdownWindow",
     "StagingTimeoutError",
+    "TierDegradedError",
     "TransientIOError",
     "WorkerCrashError",
     "WorkerStallError",

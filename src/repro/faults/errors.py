@@ -12,13 +12,18 @@ fault bites:
     │     ├── ``PFSUnavailableError``   (outage window: whole PFS down)
     │     ├── ``FlakyWriteError``       (per-op probabilistic write error)
     │     ├── ``FlakyReadError``        (per-op probabilistic read error)
-    │     └── ``SSDFaultError``         (node-local drive failed)
+    │     ├── ``SSDFaultError``         (node-local drive failed)
+    │     └── ``TierDegradedError``     (staging-cache tier inside a
+    │           degradation window: the cache bypasses the tier or
+    │           serves from the PFS — no data loss, deadlines may slip)
     ├── ``NodeFailureError`` — a whole compute node crashed (not
     │     retryable in place: the resident job is dead; the scheduler
     │     requeues it on surviving nodes)
     ├── ``WorkerCrashError``  — a rank's background I/O thread died
     ├── ``WorkerStallError``  — informational: worker paused (GC, OS jitter)
     ├── ``StagingTimeoutError`` — bounded staging reservation expired
+    ├── ``CacheAdmissionError`` — a cache tier rejected a block (full and
+    │     nothing evictable); the request is served from the source tier
     └── ``RetryExhaustedError`` — the retry budget ran out (carries the
           last underlying fault as ``__cause__``)
 """
@@ -26,6 +31,7 @@ fault bites:
 from __future__ import annotations
 
 __all__ = [
+    "CacheAdmissionError",
     "FaultError",
     "FlakyReadError",
     "FlakyWriteError",
@@ -34,6 +40,7 @@ __all__ = [
     "RetryExhaustedError",
     "SSDFaultError",
     "StagingTimeoutError",
+    "TierDegradedError",
     "TransientIOError",
     "WorkerCrashError",
     "WorkerStallError",
@@ -70,6 +77,23 @@ class SSDFaultError(TransientIOError):
     """A node-local staging drive failed."""
 
 
+class TierDegradedError(TransientIOError):
+    """A staging-cache tier is inside an injected degradation window.
+
+    Raised at copy issue (before any bytes move) so a rejected
+    tier-to-tier copy is always retry- or bypass-safe: the block still
+    exists on its source tier and the planner serves it from there.
+
+    ``until`` carries the window's end when known, mirroring
+    :class:`PFSUnavailableError` so backoff code can wait it out.
+    """
+
+    def __init__(self, message: str, until: float = float("nan")):
+        super().__init__(message)
+        #: Simulated time at which the degradation window ends.
+        self.until = until
+
+
 class NodeFailureError(FaultError):
     """A whole compute node went down (hardware fault, cabinet power).
 
@@ -95,6 +119,13 @@ class WorkerStallError(FaultError):
 
 class StagingTimeoutError(FaultError):
     """A bounded staging-buffer reservation expired before space freed."""
+
+
+class CacheAdmissionError(FaultError):
+    """A cache tier rejected a block: the tier is full and eviction
+    could not free enough space (everything resident is pinned or
+    in flight).  The block stays on its source tier — admission control
+    degrades service, never correctness."""
 
 
 class RetryExhaustedError(FaultError):

@@ -40,6 +40,7 @@ from repro.faults.errors import (
     FlakyWriteError,
     PFSUnavailableError,
     SSDFaultError,
+    TierDegradedError,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -117,6 +118,11 @@ class FaultConfig:
     pfs_slowdowns: tuple[SlowdownWindow, ...] = ()
     #: ``(node_index, at_time)``: the node's local SSD fails at ``at_time``.
     ssd_failures: tuple[tuple[int, float], ...] = ()
+    #: ``(node_index, start, duration)``: the node's NVMe staging-cache
+    #: tier is degraded (refuses new tier copies) during the window.
+    #: The cache's planner falls back to the PFS — deadlines may be
+    #: missed, data is never lost.
+    tier_degraded: tuple[tuple[int, float, float], ...] = ()
     #: ``(rank, after_tasks)``: the rank's background worker crashes
     #: after executing ``after_tasks`` tasks.
     worker_crashes: tuple[tuple[int, int], ...] = ()
@@ -154,6 +160,11 @@ class FaultConfig:
         for node, at in self.ssd_failures:
             if node < 0 or at < 0:
                 raise ValueError(f"invalid ssd failure ({node}, {at})")
+        for node, start, duration in self.tier_degraded:
+            if node < 0 or start < 0 or duration <= 0:
+                raise ValueError(
+                    f"invalid tier degradation ({node}, {start}, {duration})"
+                )
         for rank, after in self.worker_crashes:
             if rank < 0 or after < 0:
                 raise ValueError(f"invalid worker crash ({rank}, {after})")
@@ -191,6 +202,11 @@ class FaultConfig:
         """Whether the PFS hook has anything to do at all."""
         return bool(self.write_error_rate or self.read_error_rate
                     or self.pfs_outages)
+
+    @property
+    def any_tier_faults(self) -> bool:
+        """Whether any staging-cache tier degradation is scheduled."""
+        return bool(self.tier_degraded)
 
     @property
     def any_node_faults(self) -> bool:
@@ -234,6 +250,11 @@ class FaultInjector:
         self._crashed_ranks: set[int] = set()
         self._stalls = {(rank, at): seconds
                         for rank, at, seconds in self.config.worker_stalls}
+        self._tier_windows: dict[int, list[OutageWindow]] = {}
+        for node, start, duration in self.config.tier_degraded:
+            self._tier_windows.setdefault(node, []).append(
+                OutageWindow(start=start, duration=duration)
+            )
 
     # ------------------------------------------------------------------
     # Wiring
@@ -260,6 +281,16 @@ class FaultInjector:
                     self.engine.schedule(
                         at - self.engine.now, self._fail_ssd, node_index
                     )
+        for node_index, windows in sorted(self._tier_windows.items()):
+            for window in sorted(windows, key=lambda w: w.start):
+                self.engine.schedule(
+                    window.start - self.engine.now,
+                    self._note_tier_edge, "tier_degraded", node_index,
+                )
+                self.engine.schedule(
+                    window.end - self.engine.now,
+                    self._note_tier_edge, "tier_restored", node_index,
+                )
         if self.config.any_node_faults:
             for t, kind, node_index in self._node_fault_plan(
                     len(cluster.nodes)):
@@ -284,6 +315,9 @@ class FaultInjector:
     def _fail_ssd(self, node_index: int) -> None:
         self._failed_ssds.add(node_index)
         self.note("ssd_failed", node=node_index)
+
+    def _note_tier_edge(self, kind: str, node_index: int) -> None:
+        self.note(kind, node=node_index)
 
     # ------------------------------------------------------------------
     # Node-level faults (fleet scale)
@@ -384,6 +418,37 @@ class FaultInjector:
         if node_index in self._failed_ssds:
             self.note("ssd_fault_hit", op=op, node=node_index)
             raise SSDFaultError(f"node {node_index} local SSD failed")
+
+    def tier_hook(self, node_index: int, nbytes: float, tag=None) -> None:
+        """May raise :class:`TierDegradedError` for one tier copy.
+
+        Called by the staging cache's copy engine before any NVMe-tier
+        leg moves bytes, so a rejected copy is always bypass-safe: the
+        block still exists on its source tier.
+        """
+        window = self._tier_window_at(node_index, self.engine.now)
+        if window is not None:
+            self.note("tier_degraded_hit", node=node_index, tag=tag,
+                      until=window.end)
+            raise TierDegradedError(
+                f"node {node_index} cache tier degraded until "
+                f"t={window.end:.6g}",
+                until=window.end,
+            )
+
+    def tier_degraded_at(self, node_index: int,
+                         t: Optional[float] = None) -> bool:
+        """Whether ``node_index``'s NVMe tier is degraded at ``t``
+        (default: now)."""
+        when = self.engine.now if t is None else t
+        return self._tier_window_at(node_index, when) is not None
+
+    def _tier_window_at(self, node_index: int,
+                        t: float) -> Optional[OutageWindow]:
+        for window in self._tier_windows.get(node_index, ()):
+            if window.covers(t):
+                return window
+        return None
 
     def _outage_at(self, t: float) -> Optional[OutageWindow]:
         for window in self.config.pfs_outages:

@@ -73,6 +73,10 @@ def _ssd_failure(seed: int) -> FaultConfig:
     return FaultConfig(seed=seed, ssd_failures=((0, 20.0),))
 
 
+def _tier_degraded(seed: int) -> FaultConfig:
+    return FaultConfig(seed=seed, tier_degraded=((0, 20.0, 60.0),))
+
+
 #: name -> (description, FaultConfig factory taking a seed).
 SCENARIOS: dict[str, tuple[str, Callable[[int], FaultConfig]]] = {
     "node-crash": (
@@ -102,6 +106,11 @@ SCENARIOS: dict[str, tuple[str, Callable[[int], FaultConfig]]] = {
     "ssd-failure": (
         "node 0's staging SSD fails at t=20s",
         _ssd_failure,
+    ),
+    "tier-degraded": (
+        "node 0's NVMe cache tier is degraded during [20s, 80s); the "
+        "staging cache serves from the PFS (deadlines slip, no data loss)",
+        _tier_degraded,
     ),
 }
 

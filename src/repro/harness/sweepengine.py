@@ -89,6 +89,10 @@ class SweepSpec:
     fault_seed: int = 0
     #: Whether requeued crash victims restart from durable checkpoints.
     checkpoint: bool = True
+    #: Staging-cache axis (``kind="workload"`` only): each value is a
+    #: :func:`~repro.harness.experiment.run_experiment` ``cache_mode``
+    #: (``"none"`` maps to no subsystem — the default, zero-cost-off).
+    cache: tuple[str, ...] = ("none",)
 
     def __post_init__(self) -> None:
         if self.kind not in ("workload", "sched"):
@@ -99,6 +103,13 @@ class SweepSpec:
             raise ValueError("the fault axis applies to kind='sched' only")
         if any(f < 0 for f in self.faults):
             raise ValueError("fault rates must be non-negative")
+        valid_cache = ("none", "off", "write", "on")
+        if any(c not in valid_cache for c in self.cache):
+            raise ValueError(
+                f"cache values must be from {valid_cache}, got {self.cache}"
+            )
+        if self.kind == "sched" and tuple(self.cache) != ("none",):
+            raise ValueError("the cache axis applies to kind='workload' only")
 
     def describe(self) -> str:
         axes = (
@@ -108,6 +119,8 @@ class SweepSpec:
         )
         if any(f > 0 for f in self.faults):
             axes += f" x {len(self.faults)} fault rate(s)"
+        if tuple(self.cache) != ("none",):
+            axes += f" x {len(self.cache)} cache mode(s)"
         return f"{self.kind}:{self.workload} {axes}"
 
 
@@ -128,6 +141,8 @@ class SweepTask:
     fault_rate: float = 0.0
     fault_seed: int = 0
     checkpoint: bool = True
+    #: Staging-cache mode of this point (``"none"`` = no subsystem).
+    cache: str = "none"
 
 
 @dataclass(frozen=True)
@@ -166,24 +181,26 @@ class SweepOutcome:
 
 def expand_grid(spec: SweepSpec) -> list[SweepTask]:
     """Enumerate the grid in canonical (machine, mode, scale, fault,
-    seed) order."""
+    cache, seed) order."""
     tasks: list[SweepTask] = []
     index = 0
     for machine in spec.machines:
         for mode in spec.modes:
             for scale in spec.scales:
                 for fault_rate in spec.faults:
-                    for seed in spec.seeds:
-                        tasks.append(SweepTask(
-                            index=index, kind=spec.kind,
-                            workload=spec.workload,
-                            machine=machine, mode=mode, scale=scale,
-                            seed=seed, jobs=spec.jobs,
-                            fault_rate=fault_rate,
-                            fault_seed=spec.fault_seed,
-                            checkpoint=spec.checkpoint,
-                        ))
-                        index += 1
+                    for cache in spec.cache:
+                        for seed in spec.seeds:
+                            tasks.append(SweepTask(
+                                index=index, kind=spec.kind,
+                                workload=spec.workload,
+                                machine=machine, mode=mode, scale=scale,
+                                seed=seed, jobs=spec.jobs,
+                                fault_rate=fault_rate,
+                                fault_seed=spec.fault_seed,
+                                checkpoint=spec.checkpoint,
+                                cache=cache,
+                            ))
+                            index += 1
     return tasks
 
 
@@ -217,10 +234,12 @@ def _run_workload_point(task: SweepTask) -> dict:
         prepopulate_factory(config) if prepopulate_factory is not None
         else None
     )
+    cache_mode = None if task.cache == "none" else task.cache
     result = run_experiment(
         machine, task.workload, program_factory, config, mode=task.mode,
         nranks=int(task.scale), day=task.seed,
         contention=ContentionModel(seed=0), prepopulate=prepopulate, op=op,
+        cache_mode=cache_mode,
     )
     return asdict(result)
 
@@ -262,6 +281,7 @@ def run_point(task: SweepTask) -> dict:
         "scale": task.scale,
         "seed": task.seed,
         "fault_rate": task.fault_rate,
+        "cache": task.cache,
         "ok": False,
         "error": None,
         "metrics": None,
@@ -342,6 +362,7 @@ def merged_results(merged: dict) -> list[PointResult]:
                 fault_rate=p.get("fault_rate", 0.0),
                 fault_seed=spec.get("fault_seed", 0),
                 checkpoint=spec.get("checkpoint", True),
+                cache=p.get("cache", "none"),
             ),
         ))
     return out

@@ -54,9 +54,11 @@ from repro.check import hooks as _check_hooks
 from repro.sim.engine import AllOf, Engine, Interrupted, SimEvent
 from repro.sim.primitives import Queue
 from repro.faults.errors import (
+    CacheAdmissionError,
     FaultError,
     RetryExhaustedError,
     StagingTimeoutError,
+    TierDegradedError,
     TransientIOError,
     WorkerCrashError,
 )
@@ -65,6 +67,7 @@ from repro.hdf5.vol import VOLConnector
 from repro.trace import IOLog, IOOpRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache import CacheSubsystem
     from repro.faults.injector import FaultInjector
     from repro.hdf5.eventset import EventSet
     from repro.hdf5.objects import StoredDataset, StoredFile
@@ -280,7 +283,7 @@ class _WriteDesc:
     """Descriptor for one queued background write (merge-capable)."""
 
     __slots__ = ("ctx", "stored", "selection", "payload", "nbytes",
-                 "record", "reservation", "done")
+                 "record", "reservation", "done", "staged_tier")
 
     def __init__(self, ctx, stored, selection, payload, nbytes, record,
                  reservation, done):
@@ -292,6 +295,10 @@ class _WriteDesc:
         self.record = record
         self.reservation = reservation
         self.done = done
+        #: Set to ``"nvme"`` once the write-through drain hopped this
+        #: op's bytes onto the middle cache tier (retry safety: the hop
+        #: is not re-run and the fallback knows what to release).
+        self.staged_tier = None
 
     @property
     def mergeable(self) -> bool:
@@ -369,6 +376,15 @@ class AsyncVOL(VOLConnector):
         Whether exhausted retries / staging timeouts / worker crashes
         degrade to the reliable blocking path (default) instead of
         failing the operation's event.
+    cache:
+        Optional :class:`~repro.cache.CacheSubsystem`.  With
+        ``write_through`` on and DRAM staging, background drains hop
+        through the node's NVMe tier (DRAM → NVMe → PFS), releasing
+        DRAM staging space as soon as the bytes are safe on the drive;
+        reads consult the subsystem's residency maps first, so planner
+        prefetches (declared future reads) are served from the warm
+        tier instead of the PFS.  ``None`` (default) changes nothing —
+        the event schedule is byte-identical to a cache-less build.
     """
 
     mode = "async"
@@ -391,6 +407,7 @@ class AsyncVOL(VOLConnector):
         retry_backoff: float = 0.5,
         staging_timeout: Optional[float] = None,
         fallback_sync: bool = True,
+        cache: Optional["CacheSubsystem"] = None,
     ):
         super().__init__(log)
         if staging not in ("dram", "ssd", "bb"):
@@ -428,6 +445,7 @@ class AsyncVOL(VOLConnector):
         self.retry_backoff = retry_backoff
         self.staging_timeout = staging_timeout
         self.fallback_sync = fallback_sync
+        self.cache = cache
         #: Operations completed via the reliable blocking path.
         self.fallbacks = 0
         #: Total transient-fault retries across all ranks.
@@ -755,6 +773,7 @@ class AsyncVOL(VOLConnector):
         head = batch[0]
         target = head.stored.file.target
         total = 0.0
+        staged = 0.0
         if self.staging == "bb":
             # Server-side drain: burst buffer -> PFS, no node involved.
             for req in self._batch_requests(batch):
@@ -766,6 +785,31 @@ class AsyncVOL(VOLConnector):
                 # Drain path reads the staged data back off the drive first.
                 total = sum(d.nbytes for d in batch)
                 yield ctx.node.ssd.read(total, tag=("drain-ssd", ctx.rank))
+            staged = sum(d.nbytes for d in batch
+                         if d.staged_tier == "nvme")
+            cache = self.cache
+            if (staged == 0.0 and self.staging == "dram"
+                    and cache is not None and cache.write_through
+                    and cache.has_nvme(ctx.node)):
+                # Write-through hop: land the batch on the NVMe tier and
+                # release DRAM staging immediately — the drive copy is
+                # the durable one the PFS drain reads back.  A full or
+                # degraded tier bypasses to the direct DRAM -> PFS path.
+                hop = sum(d.nbytes for d in batch)
+                try:
+                    yield from cache.stage_write(
+                        ctx.node, hop, tag=("drain-t1", ctx.rank))
+                except (CacheAdmissionError, TierDegradedError):
+                    pass
+                else:
+                    staged = hop
+                    for desc in batch:
+                        desc.staged_tier = "nvme"
+                        if desc.reservation.held:
+                            desc.reservation.release()
+            if staged > 0.0:
+                yield from self.cache.stage_read(
+                    ctx.node, staged, tag=("drain-t2", ctx.rank))
             for req in self._batch_requests(batch):
                 yield ctx.cluster.pfs_write(
                     ctx.node, target, req, tag=("aw", ctx.rank, head.stored.path),
@@ -773,11 +817,18 @@ class AsyncVOL(VOLConnector):
         if self.staging == "ssd":
             # Evict only after the PFS writes landed (retry safety).
             ctx.node.ssd.evict(total)
+        if staged > 0.0:
+            # Same retry discipline: the tier copy outlives failed PFS
+            # attempts and is only dropped once the writes landed.
+            self.cache.stage_release(ctx.node, staged)
+            for desc in batch:
+                desc.staged_tier = None
         now = ctx.engine.now
         for desc in batch:
             desc.record.t_complete = now
             desc.stored.apply_write(desc.selection, desc.payload)
-            desc.reservation.release()
+            if desc.reservation.held:
+                desc.reservation.release()
             desc.done.succeed()
 
     def _drain_with_recovery(self, ctx, batch: list) -> Generator:
@@ -846,6 +897,11 @@ class AsyncVOL(VOLConnector):
             desc.stored.apply_write(desc.selection, desc.payload)
             if self.staging == "ssd":
                 ctx.node.ssd.evict(desc.nbytes)
+            if desc.staged_tier == "nvme":
+                # The write-through hop left these bytes on the NVMe
+                # tier; the blocking path made them durable on the PFS.
+                self.cache.stage_release(ctx.node, desc.nbytes)
+                desc.staged_tier = None
             if desc.reservation.held:
                 desc.reservation.release()
             self.fallbacks += 1
@@ -907,6 +963,34 @@ class AsyncVOL(VOLConnector):
         t_submit = ctx.engine.now
 
         prefetch_faulted = False
+        if self.cache is not None and self.cache.enabled:
+            block = self.cache.lookup(ctx.node, key)
+            if block is not None:
+                was_resident = block.state == "resident"
+                if block.state == "inflight":
+                    # Partially hidden: the planner's copy is still in
+                    # flight — wait for it rather than re-reading.
+                    block.pins += 1
+                    try:
+                        yield block.ready
+                    finally:
+                        block.pins -= 1
+                if block.state == "resident":
+                    yield from self.cache.serve(
+                        ctx.node, block, tag=("cache-cpy", ctx.rank))
+                    self.cache.metrics.hits += 1
+                    now = ctx.engine.now
+                    self.log.append(IOOpRecord(
+                        op="read", mode=self.mode, rank=ctx.rank,
+                        nbytes=nbytes, dataset=stored.path, phase=phase,
+                        t_submit=t_submit, t_unblocked=now, t_complete=now,
+                        cache_hit=was_resident,
+                    ))
+                    return stored.read_payload(selection)
+                # The planner's copy failed (injected fault): the block
+                # is gone; pay the source-tier read below.
+                prefetch_faulted = True
+            self.cache.metrics.misses += 1
         entry = self._cache.get(key)
         if entry is not None:
             was_ready = entry.state == "ready"

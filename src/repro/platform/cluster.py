@@ -162,14 +162,19 @@ class Cluster:
         """Sorted indices of the currently free nodes."""
         return tuple(self._free_nodes)
 
-    def allocate_nodes(self, count: int, owner: Optional[int] = None
-                       ) -> tuple[int, ...]:
+    def allocate_nodes(self, count: int, owner: Optional[int] = None,
+                       preferred: tuple[int, ...] = ()) -> tuple[int, ...]:
         """Claim ``count`` free nodes (lowest indices first).
 
         Returns the claimed node indices; raises :class:`ValueError`
         when fewer than ``count`` nodes are free.  ``owner`` (a job id)
         is recorded so :meth:`release_owner` can free a tenant's nodes
         without the caller re-threading the index list.
+
+        ``preferred`` node indices (e.g. warm staging-cache tiers, in
+        the caller's priority order) are claimed first when free; the
+        remainder comes from the lowest free indices, so an empty
+        ``preferred`` reproduces the historical allocation exactly.
         """
         if count < 1:
             raise ValueError(f"must allocate >= 1 node, got {count}")
@@ -178,6 +183,22 @@ class Cluster:
                 f"cannot allocate {count} nodes: only "
                 f"{len(self._free_nodes)} of {len(self.nodes)} free"
             )
+        if preferred:
+            free = set(self._free_nodes)
+            picks = [i for i in preferred if i in free][:count]
+            if picks:
+                chosen = set(picks)
+                picks.extend(
+                    i for i in self._free_nodes if i not in chosen
+                )
+                taken = tuple(picks[:count])
+                self._free_nodes = [
+                    i for i in self._free_nodes if i not in set(taken)
+                ]
+                self._busy.update(taken)
+                if owner is not None:
+                    self._allocated[owner] = taken
+                return taken
         taken = tuple(self._free_nodes[:count])
         del self._free_nodes[:count]
         self._busy.update(taken)

@@ -47,6 +47,9 @@ class Placement:
     nnodes: int
     mode: str  # resolved 'sync' | 'async'
     start_delay: float = 0.0
+    #: Node indices to allocate first when free (warm staging-cache
+    #: tiers); the allocator falls back to lowest-free for the rest.
+    preferred_nodes: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.nnodes < 1:
@@ -55,6 +58,8 @@ class Placement:
             raise ValueError(f"unresolved mode {self.mode!r}")
         if self.start_delay < 0:
             raise ValueError("start_delay must be non-negative")
+        if any(n < 0 for n in self.preferred_nodes):
+            raise ValueError("preferred node indices must be non-negative")
 
 
 class SchedulingPolicy:
@@ -203,19 +208,38 @@ class IOAwarePolicy(BackfillPolicy):
        at ``max_stagger``) that slides its burst into the first gap.
        Async placements skip the ledger: their drains overlap
        computation by construction.
+
+    With ``tier_telemetry`` wired (a zero-argument callable returning
+    the staging cache's per-node resident-byte map, e.g.
+    :meth:`~repro.cache.CacheSubsystem.warm_bytes`), placements also
+    carry ``preferred_nodes`` ranking warm-tier nodes first, so jobs
+    land where their (or their tenant's) bytes already are.
     """
 
     name = "io-aware"
 
     def __init__(self, default_ranks_per_node: int, service: AdvisorService,
-                 max_stagger: float = 10.0):
+                 max_stagger: float = 10.0, tier_telemetry=None):
         super().__init__(default_ranks_per_node)
         if max_stagger < 0:
             raise ValueError("max_stagger must be non-negative")
         self.service = service
         self.max_stagger = max_stagger
+        self.tier_telemetry = tier_telemetry
         #: Reserved sync I/O burst windows [(t_start, t_end), ...].
         self._bursts: list[tuple[float, float]] = []
+
+    def _warm_nodes(self) -> tuple[int, ...]:
+        """Node indices with resident cache bytes, warmest first (index
+        breaks ties, so the ranking is deterministic)."""
+        if self.tier_telemetry is None:
+            return ()
+        warm = self.tier_telemetry()
+        return tuple(
+            index for index, nbytes in sorted(
+                warm.items(), key=lambda kv: (-kv[1], kv[0])
+            ) if nbytes > 0
+        )
 
     def resolve_mode(self, record: JobRecord, now: float) -> str:
         spec = record.spec
@@ -236,6 +260,7 @@ class IOAwarePolicy(BackfillPolicy):
              running: list[JobRecord]) -> list[Placement]:
         self._bursts = [(s, e) for s, e in self._bursts if e > now]
         placements = super().plan(now, pending, free_nodes, running)
+        warm = self._warm_nodes()
         staggered: list[Placement] = []
         for placement in placements:
             delay = 0.0
@@ -254,7 +279,7 @@ class IOAwarePolicy(BackfillPolicy):
                 self._bursts.sort()
             staggered.append(Placement(
                 placement.record, placement.nnodes, placement.mode,
-                start_delay=delay,
+                start_delay=delay, preferred_nodes=warm,
             ))
         return staggered
 

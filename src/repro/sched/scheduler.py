@@ -213,7 +213,8 @@ class Scheduler:
             record = placement.record
             self._pending.remove(record)
             indices = self.cluster.allocate_nodes(
-                placement.nnodes, owner=record.job_id
+                placement.nnodes, owner=record.job_id,
+                preferred=placement.preferred_nodes,
             )
             record.nodes = indices
             record.mode = placement.mode

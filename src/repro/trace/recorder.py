@@ -77,11 +77,38 @@ class IOOpRecord:
         return self.nbytes / bt
 
 
+def _merge_cache_stats(a: dict, b: dict) -> dict:
+    """Sum two cache-metric snapshots; derived ratios are recomputed
+    from the summed counters (never averaged)."""
+    if not a:
+        return dict(b)
+    if not b:
+        return dict(a)
+    out: dict = {}
+    tiers = {**a.get("bytes_to_tier", {})}
+    for name, nbytes in b.get("bytes_to_tier", {}).items():
+        tiers[name] = tiers.get(name, 0.0) + nbytes
+    out["bytes_to_tier"] = {k: tiers[k] for k in sorted(tiers)}
+    for key in ("evictions", "hits", "misses", "prefetch_failed",
+                "prefetch_late", "prefetch_on_time", "prefetch_rejected"):
+        out[key] = a.get(key, 0) + b.get(key, 0)
+    reads = out["hits"] + out["misses"]
+    out["hit_ratio"] = out["hits"] / reads if reads else 0.0
+    done = (out["prefetch_on_time"] + out["prefetch_late"]
+            + out["prefetch_failed"])
+    out["on_time_ratio"] = out["prefetch_on_time"] / done if done else 1.0
+    return dict(sorted(out.items()))
+
+
 class IOLog:
     """Append-only log of I/O operations with paper-metric reductions."""
 
     def __init__(self) -> None:
         self.records: list[IOOpRecord] = []
+        #: Staging-cache counters for the run (empty when no cache
+        #: subsystem was wired in); see
+        #: :meth:`repro.cache.CacheMetrics.snapshot`.
+        self.cache_stats: dict = {}
 
     def __len__(self) -> int:
         return len(self.records)
@@ -171,12 +198,18 @@ class IOLog:
         """Total time ``rank`` spent stalled in I/O calls."""
         return sum(r.blocking_time for r in self.select(rank=rank))
 
+    def note_cache(self, snapshot: dict) -> None:
+        """Attach a cache-metrics snapshot to the log."""
+        self.cache_stats = dict(snapshot)
+
     def merge(self, other: "IOLog") -> "IOLog":
         """New log with both logs' records in submit-time order."""
         merged = IOLog()
         merged.records = sorted(
             self.records + other.records, key=lambda r: r.t_submit
         )
+        merged.cache_stats = _merge_cache_stats(self.cache_stats,
+                                                other.cache_stats)
         return merged
 
     def per_dataset_summary(self) -> dict[str, dict[str, float]]:
