@@ -35,26 +35,38 @@ from repro.check.lint import (
     lint_paths,
     lint_source,
     render_findings,
+    suppression_stats,
 )
 from repro.check.rules import RULES, all_rules
 
 __all__ = [
+    "CheckResult",
     "Finding",
+    "InterContext",
     "RULES",
     "RuntimeChecker",
     "RuntimeFinding",
     "all_rules",
+    "check_paths",
     "findings_to_json",
     "findings_to_sarif",
     "lint_paths",
     "lint_source",
     "render_findings",
+    "suppression_stats",
 ]
 
 #: Lazily-imported names -> their defining submodule (PEP 562).  Eagerly
 #: importing :mod:`repro.check.runtime` here would close an import cycle
-#: through :mod:`repro.sim.engine`.
-_LAZY = {"RuntimeChecker": "runtime", "RuntimeFinding": "runtime"}
+#: through :mod:`repro.sim.engine`; the interprocedural driver pulls in
+#: the whole summary machinery, which light consumers never need.
+_LAZY = {
+    "RuntimeChecker": "runtime",
+    "RuntimeFinding": "runtime",
+    "CheckResult": "driver",
+    "check_paths": "driver",
+    "InterContext": "summaries",
+}
 
 
 def __getattr__(name: str) -> Any:

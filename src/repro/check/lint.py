@@ -9,7 +9,12 @@ directly above it::
 
 A suppression without a justification does not suppress anything and
 is itself reported (RC001); an unknown rule ID in a suppression is
-reported too (RC002), so stale directives cannot rot silently.
+reported too (RC002), so stale directives cannot rot silently.  A valid
+directive whose rule *ran* but produced nothing on the covered lines is
+orphaned and reported as RC003 — suppressions must die with the finding
+they silenced.  Rules whose tier did not run (flow rules without
+``--flow``, inter rules without ``--inter``) are not audited, since
+"no finding" proves nothing there.
 """
 
 from __future__ import annotations
@@ -19,12 +24,13 @@ import json
 import pathlib
 import re
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Union
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.check.rules import RULES, LintContext
 
 __all__ = ["Finding", "findings_to_json", "findings_to_sarif",
-           "lint_paths", "lint_source", "render_findings"]
+           "lint_paths", "lint_source", "render_findings",
+           "suppression_stats"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +59,8 @@ _META_HINTS = {
     "RC001": "add a justification: "
              "# repro-check: disable=RCxyz (why this is safe here)",
     "RC002": "use a registered rule ID (see 'repro check --list-rules')",
+    "RC003": "the suppressed rule no longer fires here; delete the "
+             "stale directive",
 }
 
 
@@ -70,14 +78,46 @@ class _Directive:
         return bool(self.reason.strip())
 
 
-def _parse_directives(path: str, lines: Sequence[str]
+def _string_spans(tree: ast.Module) -> List[Tuple[int, int, int, int]]:
+    """(start line, start col, end line, end col) of every *multi-line*
+    string constant — directive-looking text inside one is data, not a
+    directive.  Single-line strings cannot match ``_SUPPRESS_RE`` (the
+    closing quote breaks its end-of-line anchor), so they are skipped.
+    """
+    spans: List[Tuple[int, int, int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            end_line = node.end_lineno or node.lineno
+            if end_line > node.lineno:
+                spans.append((node.lineno, node.col_offset, end_line,
+                              node.end_col_offset or 0))
+    return spans
+
+
+def _in_string(spans: List[Tuple[int, int, int, int]], line: int,
+               col: int) -> bool:
+    for start_line, start_col, end_line, end_col in spans:
+        if start_line < line < end_line:
+            return True
+        if line == start_line and line < end_line and col > start_col:
+            return True
+        if start_line < line and line == end_line and col < end_col:
+            return True
+    return False
+
+
+def _parse_directives(path: str, lines: Sequence[str],
+                      tree: Optional[ast.Module] = None
                       ) -> tuple[list[_Directive], list[Finding]]:
     """Extract suppression directives and the meta-findings they earn."""
     directives: list[_Directive] = []
     meta: list[Finding] = []
+    spans = _string_spans(tree) if tree is not None else []
     for lineno, text in enumerate(lines, start=1):
         match = _SUPPRESS_RE.search(text)
         if match is None:
+            continue
+        if _in_string(spans, lineno, match.start()):
             continue
         rule_ids = tuple(
             part.strip() for part in match.group(1).split(",") if part.strip()
@@ -103,29 +143,64 @@ def _parse_directives(path: str, lines: Sequence[str]
     return directives, meta
 
 
-def _suppressed_at(directives: list[_Directive], lines: Sequence[str],
-                   rule_id: str, line: int) -> bool:
-    """Whether a *valid* directive covers ``rule_id`` on ``line`` —
-    either on the line itself or on a comment-only line just above."""
-    for directive in directives:
-        if not directive.valid or rule_id not in directive.rule_ids:
-            continue
-        if directive.line == line:
+def _covers(directive: _Directive, lines: Sequence[str],
+            line: int) -> bool:
+    """Whether ``directive`` covers findings on ``line`` — same line,
+    or a comment-only line directly above it."""
+    if directive.line == line:
+        return True
+    if directive.line == line - 1:
+        above = lines[directive.line - 1].strip()
+        if above.startswith("#"):
             return True
-        if directive.line == line - 1:
-            above = lines[directive.line - 1].strip()
-            if above.startswith("#"):
-                return True
     return False
 
 
+def _suppressed_at(directives: list[_Directive], lines: Sequence[str],
+                   rule_id: str, line: int) -> bool:
+    """Whether a *valid* directive covers ``rule_id`` on ``line``."""
+    return any(
+        directive.valid and rule_id in directive.rule_ids
+        and _covers(directive, lines, line)
+        for directive in directives
+    )
+
+
+def _orphaned_suppressions(path: str, directives: list[_Directive],
+                           lines: Sequence[str],
+                           raw: List[Tuple[str, int]],
+                           executed: Set[str]) -> list[Finding]:
+    """RC003 for every valid directive whose rule ran but hit nothing."""
+    out: list[Finding] = []
+    for directive in directives:
+        if not directive.valid:
+            continue
+        for rule_id in directive.rule_ids:
+            if rule_id not in RULES or rule_id not in executed:
+                continue
+            hit = any(raw_rule == rule_id and _covers(directive, lines,
+                                                      raw_line)
+                      for raw_rule, raw_line in raw)
+            if not hit:
+                out.append(Finding(
+                    path, directive.line, directive.col, "RC003",
+                    f"orphaned suppression: {rule_id} no longer fires "
+                    f"on the covered line", _META_HINTS["RC003"],
+                ))
+    return out
+
+
 def lint_source(source: str, path: str = "<string>",
-                flow: bool = False) -> list[Finding]:
+                flow: bool = False,
+                inter: Optional[object] = None) -> list[Finding]:
     """Lint one file's source text; ``path`` drives rule scoping.
 
     ``flow=True`` additionally runs the flow-sensitive tier (RC4xx
     typestate, RC5xx units) — CFG construction plus a fixpoint per
     function, so it costs more than the flat tier and is opt-in.
+    ``inter`` (an :class:`~repro.check.summaries.InterContext`) enables
+    the interprocedural tier: RC405/RC110/RC111 run and the flow rules
+    consult callee summaries instead of the escape hedge.
     """
     path = pathlib.PurePath(path).as_posix()
     lines = source.splitlines()
@@ -136,19 +211,31 @@ def lint_source(source: str, path: str = "<string>",
             path, err.lineno or 1, (err.offset or 1) - 1, "RC000",
             f"syntax error: {err.msg}", _META_HINTS["RC000"],
         )]
-    directives, findings = _parse_directives(path, lines)
-    ctx = LintContext(path=path, tree=tree, source=source, lines=lines)
+    directives, findings = _parse_directives(path, lines, tree)
+    file_inter = None
+    if inter is not None:
+        file_inter = inter.file_view(path, tree)  # type: ignore[attr-defined]
+    ctx = LintContext(path=path, tree=tree, source=source, lines=lines,
+                      inter=file_inter)
+    raw: List[Tuple[str, int]] = []
+    executed: Set[str] = set()
     for rule_id in sorted(RULES):
         rule = RULES[rule_id]
         if rule.tier == "flow" and not flow:
             continue
+        if rule.tier == "inter" and file_inter is None:
+            continue
         if not rule.applies(ctx):
             continue
+        executed.add(rule.id)
         for line, col, message in rule.check(ctx):
+            raw.append((rule.id, line))
             if _suppressed_at(directives, lines, rule.id, line):
                 continue
             findings.append(Finding(path, line, col, rule.id, message,
                                     rule.hint))
+    findings.extend(
+        _orphaned_suppressions(path, directives, lines, raw, executed))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return findings
 
@@ -168,15 +255,55 @@ def _iter_python_files(paths: Iterable[Union[str, pathlib.Path]]
 
 
 def lint_paths(paths: Iterable[Union[str, pathlib.Path]],
-               flow: bool = False) -> list[Finding]:
-    """Lint every ``*.py`` file under ``paths`` (files or directories)."""
+               flow: bool = False, inter: bool = False) -> list[Finding]:
+    """Lint every ``*.py`` file under ``paths`` (files or directories).
+
+    ``inter=True`` implies ``flow`` and builds one project-wide
+    :class:`~repro.check.summaries.InterContext` over all the files
+    first, so the rules see cross-file summaries.  (The cached parallel
+    variant of this lives in :mod:`repro.check.driver`.)
+    """
+    files = _iter_python_files(paths)
+    texts = {fp: fp.read_text(encoding="utf-8") for fp in files}
+    context = None
+    if inter:
+        from repro.check.summaries import InterContext
+        flow = True
+        context = InterContext.build({
+            pathlib.PurePath(str(fp)).as_posix(): text
+            for fp, text in texts.items()
+        })
     findings: list[Finding] = []
-    for file_path in _iter_python_files(paths):
+    for file_path in files:
         findings.extend(
-            lint_source(file_path.read_text(encoding="utf-8"),
-                        path=str(file_path), flow=flow)
+            lint_source(texts[file_path], path=str(file_path), flow=flow,
+                        inter=context)
         )
     return findings
+
+
+def suppression_stats(paths: Iterable[Union[str, pathlib.Path]]
+                      ) -> dict:
+    """Every suppression directive under ``paths`` (``--stats``)."""
+    entries: list[dict] = []
+    for file_path in _iter_python_files(paths):
+        posix = pathlib.PurePath(str(file_path)).as_posix()
+        text = file_path.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        try:
+            tree: Optional[ast.Module] = ast.parse(text, filename=posix)
+        except SyntaxError:
+            tree = None
+        directives, _ = _parse_directives(posix, lines, tree)
+        for directive in directives:
+            entries.append({
+                "path": posix,
+                "line": directive.line,
+                "rules": list(directive.rule_ids),
+                "reason": directive.reason.strip(),
+                "valid": directive.valid,
+            })
+    return {"count": len(entries), "suppressions": entries}
 
 
 def findings_to_json(findings: Sequence[Finding]) -> str:

@@ -25,6 +25,14 @@ Tiers
     Flow-sensitive rules (RC4xx-RC5xx) built on the CFG + fixpoint
     machinery in :mod:`repro.check.cfg` / :mod:`repro.check.dataflow`;
     run only when the ``flow`` flag (CLI ``repro check --flow``) is on.
+``"inter"``
+    Interprocedural rules (RC405, RC110/RC111) that consult the
+    call-graph + function-summary machinery in
+    :mod:`repro.check.callgraph` / :mod:`repro.check.summaries`; run
+    only when the lint context carries an inter view (CLI
+    ``repro check --inter``).  The flow rules also *sharpen* under this
+    tier: handles passed to resolved project functions apply the
+    callee's effect summary instead of the escape hedge.
 
 Adding a rule
 -------------
@@ -45,7 +53,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Type
+from typing import Dict, Iterator, Optional, Type
 
 from repro.check.cfg import CFG, build_cfg, iter_functions
 
@@ -71,6 +79,10 @@ class LintContext:
     tree: ast.Module
     source: str
     lines: list[str] = field(default_factory=list)
+    #: Per-file interprocedural view (``FileInter`` from
+    #: :mod:`repro.check.summaries`) when the inter tier is on; ``None``
+    #: keeps the flow rules on their intraprocedural escape hedge.
+    inter: Optional[object] = None
     #: Memoized CFGs, keyed by id() of the function node — flow rules
     #: analyzing the same file share one graph per function.
     _cfgs: Dict[int, CFG] = field(default_factory=dict, repr=False)
@@ -145,7 +157,7 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
         raise ValueError(f"rule {rule_cls.__name__} lacks id/title/hint")
     if rule.scope not in ("repo", "sim"):
         raise ValueError(f"rule {rule.id}: unknown scope {rule.scope!r}")
-    if rule.tier not in ("flat", "flow"):
+    if rule.tier not in ("flat", "flow", "inter"):
         raise ValueError(f"rule {rule.id}: unknown tier {rule.tier!r}")
     if rule.id in RULES:
         raise ValueError(f"duplicate rule id {rule.id}")
@@ -158,7 +170,9 @@ def all_rules() -> list[Rule]:
     return [RULES[rule_id] for rule_id in sorted(RULES)]
 
 
-# Importing the rule modules populates the registry.
+# Importing the rule modules populates the registry.  ``interproc``
+# must come last: it is the only module allowed to (lazily) reach back
+# into the summary machinery.
 from repro.check.rules import (  # noqa: E402,F401
     asyncstate,
     determinism,
@@ -166,4 +180,5 @@ from repro.check.rules import (  # noqa: E402,F401
     hygiene,
     robustness,
     units,
+    interproc,
 )

@@ -29,6 +29,19 @@ into a container/attribute, passed as a plain argument or captured by
 a nested function moves to ``escaped`` and is never reported — some
 other owner may complete the protocol.  This trades recall for a
 zero-false-positive repo-wide gate.
+
+Interprocedural tier (``--inter``): when a :class:`LintContext` carries
+a ``FileInter`` view (:mod:`repro.check.summaries`), a handle passed to
+a *resolved* project function no longer escapes — the callee's effect
+summary is applied instead (``arg.waited`` on all paths means the
+handle comes back waited; ``arg.escaped`` falls back to the hedge), and
+a helper's summarized return states seed the caller's binding, so
+``es = make_reads(...)`` is tracked just like a local ``EventSet()``.
+The same transfer doubles as the summary abstraction: parameters seeded
+with the ``arg`` token family record what a function does to its
+arguments (``arg`` untouched, ``arg.waited``/``arg.pending``/
+``arg.closed``/``arg.final`` protocol transitions, ``arg.escaped``
+unknown).
 """
 
 from __future__ import annotations
@@ -57,7 +70,67 @@ VOL_LIVE, VOL_FINAL = "vol.live", "vol.final"
 RES_READY = "res.ready"
 RES_UNREADY = "res.unready:"  # + name of the carrying event set
 
+#: Effect-summary token family: the states of a *parameter* whose kind
+#: the callee does not know.  ``arg`` means untouched; the others mirror
+#: the protocol transitions; ``arg.escaped`` means the callee did
+#: something unanalyzable with it (the caller falls back to the hedge).
+ARG = "arg"
+ARG_WAITED = "arg.waited"
+ARG_PENDING = "arg.pending"
+ARG_CLOSED = "arg.closed"
+ARG_FINAL = "arg.final"
+ARG_ESCAPED = "arg.escaped"
+
 Violation = Tuple[int, int, str]
+
+
+def _is_arg(states: Optional[frozenset]) -> bool:
+    """Whether ``states`` belong to the summary ``arg`` token family."""
+    return bool(states) and any(
+        s == ARG or s.startswith("arg.") for s in states)
+
+
+def _apply_effects(states: frozenset, effects: frozenset) -> frozenset:
+    """Caller-side application of a callee's parameter effect set.
+
+    ``states`` is the handle's current typestate (real kind during
+    linting, ``arg`` kind during nested summary computation); every
+    effect token contributes the matching post-state, so a may-effect
+    (``{arg, arg.waited}``) yields the union of both outcomes.
+    """
+    if not effects:
+        return states
+    arg_kind = _is_arg(states)
+    out: set = set()
+    for token in effects:
+        if token == ARG:
+            out |= set(states)
+        elif token == ARG_WAITED:
+            out.add(ARG_WAITED if arg_kind else ES_WAITED)
+        elif token == ARG_PENDING:
+            out.add(ARG_PENDING if arg_kind else ES_PENDING)
+        elif token == ARG_CLOSED:
+            out.add(ARG_CLOSED if arg_kind else FILE_CLOSED)
+        elif token == ARG_FINAL:
+            out.add(ARG_FINAL if arg_kind else VOL_FINAL)
+        elif token == ARG_ESCAPED:
+            out.add(ARG_ESCAPED if arg_kind else ESCAPED)
+    return frozenset(out) if out else states
+
+
+def _summary_return_states(value: ast.expr,
+                           inter: Optional[object]) -> Optional[frozenset]:
+    """Typestates a resolved helper call's return value carries."""
+    if inter is None:
+        return None
+    inner = value.value if isinstance(value, (ast.YieldFrom, ast.Await)) \
+        else value
+    if not isinstance(inner, ast.Call):
+        return None
+    driven = isinstance(value, (ast.YieldFrom, ast.Await))
+    states = inter.return_states_for_call(  # type: ignore[attr-defined]
+        inner, driven=driven)
+    return states
 
 
 def _creation_states(value: ast.expr) -> Optional[frozenset]:
@@ -106,15 +179,19 @@ def _is_kind(states: Optional[frozenset], prefix: str) -> bool:
 class _TypestateAnalysis(ForwardAnalysis):
     """Transfer function shared by the solve and report passes."""
 
+    def __init__(self, inter: Optional[object] = None) -> None:
+        self.inter = inter
+
     def transfer(self, cfg: CFG, node: CFGNode, env: Env) -> Env:
-        return _apply(node, env, report=None)
+        return _apply(node, env, report=None, inter=self.inter)
 
     def initial(self, cfg: CFG) -> Env:
         return Env()
 
 
 def _apply(node: CFGNode, env: Env,
-           report: Optional[List[Violation]]) -> Env:
+           report: Optional[List[Violation]],
+           inter: Optional[object] = None) -> Env:
     """OUT state of ``node``; optionally record RC401/RC402/RC403."""
     stmt = node.ast_node
     if stmt is None:
@@ -176,43 +253,95 @@ def _apply(node: CFGNode, env: Env,
     # Closure capture escapes everything the nested body reads.
     for name in captured_names(node):
         if name in out:
-            out = out.set(name, frozenset({ESCAPED}))
+            out = out.set(name, frozenset(
+                {ARG_ESCAPED if _is_arg(out.get(name)) else ESCAPED}))
+
+    # Calls sitting directly under ``yield from``/``await`` are *driven*:
+    # a generator/coroutine callee's body actually runs.
+    driven_ids = {
+        id(sub.value) for sub in walk_exprs(exprs)
+        if isinstance(sub, (ast.YieldFrom, ast.Await))
+        and isinstance(sub.value, ast.Call)
+    }
 
     for sub in walk_exprs(exprs):
         if not isinstance(sub, ast.Call):
             continue
-        # Method calls drive the state machines.
+        # Method calls drive the state machines; a tracked receiver is
+        # owned by the machine, so summaries never touch it below.
+        protocol_receiver: Optional[str] = None
         if (isinstance(sub.func, ast.Attribute)
                 and isinstance(sub.func.value, ast.Name)):
             receiver = sub.func.value.id
             states = out.get(receiver)
             if states is not None and ESCAPED not in states:
-                if sub.func.attr == "wait" and _is_kind(states, "es."):
-                    out = out.set(receiver, frozenset({ES_WAITED}))
-                    for name, other in list(out.items()):
-                        if RES_UNREADY + receiver in other:
-                            out = out.set(name, frozenset({RES_READY}))
-                elif sub.func.attr == "add" and _is_kind(states, "es."):
-                    out = out.set(receiver, frozenset({ES_PENDING}))
-                elif sub.func.attr == "close" and _is_kind(states, "file."):
-                    out = out.set(receiver, frozenset({FILE_CLOSED}))
-                elif (sub.func.attr == "finalize"
-                        and _is_kind(states, "vol.")):
-                    out = out.set(receiver, frozenset({VOL_FINAL}))
+                protocol_receiver = receiver
+                arg_kind = _is_arg(states)
+                if sub.func.attr == "wait" \
+                        and (_is_kind(states, "es.") or arg_kind):
+                    if arg_kind:
+                        out = out.set(receiver, frozenset({ARG_WAITED}))
+                    else:
+                        out = out.set(receiver, frozenset({ES_WAITED}))
+                        for name, other in list(out.items()):
+                            if RES_UNREADY + receiver in other:
+                                out = out.set(name, frozenset({RES_READY}))
+                elif sub.func.attr == "add" \
+                        and (_is_kind(states, "es.") or arg_kind):
+                    out = out.set(receiver, frozenset(
+                        {ARG_PENDING if arg_kind else ES_PENDING}))
+                elif sub.func.attr == "close" \
+                        and (_is_kind(states, "file.") or arg_kind):
+                    out = out.set(receiver, frozenset(
+                        {ARG_CLOSED if arg_kind else FILE_CLOSED}))
+                elif sub.func.attr == "finalize" \
+                        and (_is_kind(states, "vol.") or arg_kind):
+                    out = out.set(receiver, frozenset(
+                        {ARG_FINAL if arg_kind else VOL_FINAL}))
+        pairs = inter.call_effects(  # type: ignore[attr-defined]
+            sub, driven=id(sub) in driven_ids) if inter is not None else None
+        if pairs is not None:
+            # Resolved project call: apply the callee's parameter effect
+            # summary to each mapped argument instead of escaping it.
+            for arg_expr, effects in pairs:
+                if isinstance(arg_expr, ast.Name):
+                    name = arg_expr.id
+                    if name == protocol_receiver:
+                        continue
+                    states = out.get(name)
+                    if states is None or ESCAPED in states:
+                        continue
+                    new = _apply_effects(states, effects)
+                    if new != states:
+                        out = out.set(name, new)
+                        if new == frozenset({ES_WAITED}):
+                            for rname, other in list(out.items()):
+                                if RES_UNREADY + name in other:
+                                    out = out.set(
+                                        rname, frozenset({RES_READY}))
+                else:
+                    for leaf in walk_exprs([arg_expr]):
+                        if isinstance(leaf, ast.Name) and leaf.id in out \
+                                and leaf.id != protocol_receiver:
+                            out = out.set(leaf.id, frozenset({ESCAPED}))
+            continue
         # ``es=<name>`` keyword = operation insertion into that set.
         for kw in sub.keywords:
             if kw.arg == "es" and isinstance(kw.value, ast.Name):
                 states = out.get(kw.value.id)
                 if (states is not None and ESCAPED not in states
-                        and _is_kind(states, "es.")):
-                    out = out.set(kw.value.id, frozenset({ES_PENDING}))
+                        and (_is_kind(states, "es.") or _is_arg(states))):
+                    out = out.set(kw.value.id, frozenset(
+                        {ARG_PENDING if _is_arg(states) else ES_PENDING}))
         # Any other argument position escapes a tracked object.
         escaping: List[ast.expr] = list(sub.args)
         escaping.extend(kw.value for kw in sub.keywords if kw.arg != "es")
         for arg in escaping:
             for leaf in walk_exprs([arg]):
                 if isinstance(leaf, ast.Name) and leaf.id in out:
-                    out = out.set(leaf.id, frozenset({ESCAPED}))
+                    states = out.get(leaf.id)
+                    out = out.set(leaf.id, frozenset(
+                        {ARG_ESCAPED if _is_arg(states) else ESCAPED}))
 
     # Storing into attributes/subscripts/containers or returning escapes.
     escape_roots: List[ast.expr] = []
@@ -222,11 +351,24 @@ def _apply(node: CFGNode, env: Env,
         for target in stmt.targets:
             if not isinstance(target, ast.Name):
                 escape_roots.append(stmt.value)
+    # Names inside a summarized call are owned by that summary (an
+    # arg-storing callee already yields ``arg.escaped``): returning
+    # ``helper(es)`` hands out helper's return value, not ``es``.
+    summarized: set = set()
+    if inter is not None:
+        for root in escape_roots:
+            for sub in walk_exprs([root]):
+                if isinstance(sub, ast.Call) and inter.call_effects(  # type: ignore[attr-defined]
+                        sub, driven=id(sub) in driven_ids) is not None:
+                    summarized.update(
+                        id(leaf) for leaf in walk_exprs([sub]))
     for root in escape_roots:
         for leaf in walk_exprs([root]):
             if isinstance(leaf, ast.Name) and isinstance(leaf.ctx, ast.Load) \
-                    and leaf.id in out:
-                out = out.set(leaf.id, frozenset({ESCAPED}))
+                    and leaf.id in out and id(leaf) not in summarized:
+                states = out.get(leaf.id)
+                out = out.set(leaf.id, frozenset(
+                    {ARG_ESCAPED if _is_arg(states) else ESCAPED}))
 
     # Rebinding: creations seed fresh state, anything else untracks.
     if isinstance(stmt, (ast.Assign, ast.AnnAssign)) and stmt.value is not None:
@@ -234,6 +376,7 @@ def _apply(node: CFGNode, env: Env,
             else [stmt.target]
         created = _creation_states(stmt.value)
         carrier = _read_binding(stmt.value, env)
+        returned = _summary_return_states(stmt.value, inter)
         for target in targets:
             if isinstance(target, ast.Name):
                 if created is not None:
@@ -241,10 +384,14 @@ def _apply(node: CFGNode, env: Env,
                 elif carrier is not None:
                     out = out.set(target.id,
                                   frozenset({RES_UNREADY + carrier}))
+                elif returned is not None:
+                    out = out.set(target.id, returned)
                 elif isinstance(stmt.value, ast.Name) \
                         and stmt.value.id in out:
                     # Aliasing: both names stop being tracked.
-                    out = out.set(stmt.value.id, frozenset({ESCAPED}))
+                    aliased = out.get(stmt.value.id)
+                    out = out.set(stmt.value.id, frozenset(
+                        {ARG_ESCAPED if _is_arg(aliased) else ESCAPED}))
                     out = out.remove(target.id)
                 else:
                     out = out.remove(target.id)
@@ -275,17 +422,20 @@ def _apply(node: CFGNode, env: Env,
     return out
 
 
-def _analyze(cfg: CFG) -> Tuple[Dict[int, Env], List[Violation],
-                                Dict[str, Tuple[int, int]],
-                                Dict[str, bool]]:
+def _analyze(cfg: CFG, inter: Optional[object] = None
+             ) -> Tuple[Dict[int, Env], List[Violation],
+                        Dict[str, Tuple[int, int]],
+                        Dict[str, bool]]:
     """Solve, then replay for findings, creation sites and vol usage.
 
-    Cached on the CFG object: all four RC40x rules share one solve.
+    Cached on the CFG object: all four RC40x rules share one solve (the
+    ``inter`` view is constant within one lint run, so the cache never
+    mixes modes).
     """
     cached = getattr(cfg, "_typestate", None)
     if cached is not None:
         return cached
-    in_states = solve(cfg, _TypestateAnalysis())
+    in_states = solve(cfg, _TypestateAnalysis(inter))
     findings: List[Violation] = []
     created_at: Dict[str, Tuple[int, int]] = {}
     vol_used: Dict[str, bool] = {}
@@ -293,6 +443,8 @@ def _analyze(cfg: CFG) -> Tuple[Dict[int, Env], List[Violation],
         stmt = node.ast_node
         if isinstance(stmt, ast.Assign) and stmt.value is not None:
             states = _creation_states(stmt.value)
+            if states is None:
+                states = _summary_return_states(stmt.value, inter)
             if states is not None:
                 for target in stmt.targets:
                     if isinstance(target, ast.Name):
@@ -304,7 +456,8 @@ def _analyze(cfg: CFG) -> Tuple[Dict[int, Env], List[Violation],
                     and isinstance(sub.func.value, ast.Name)):
                 vol_used[sub.func.value.id] = True
         if node.index in in_states:
-            _apply(node, in_states[node.index], report=findings)
+            _apply(node, in_states[node.index], report=findings,
+                   inter=inter)
     result = (in_states, findings, created_at, vol_used)
     cfg._typestate = result  # type: ignore[attr-defined]
     return result
@@ -327,7 +480,7 @@ class RC401(FlowRule):
 
     def check_function(self, ctx: LintContext,
                        cfg: CFG) -> Iterator[Violation]:
-        in_states, findings, created_at, _ = _analyze(cfg)
+        in_states, findings, created_at, _ = _analyze(cfg, ctx.inter)
         for line, col, message in findings:
             if "not waited when" in message:
                 yield line, col, message
@@ -352,7 +505,7 @@ class RC402(FlowRule):
 
     def check_function(self, ctx: LintContext,
                        cfg: CFG) -> Iterator[Violation]:
-        _, findings, _, _ = _analyze(cfg)
+        _, findings, _, _ = _analyze(cfg, ctx.inter)
         for line, col, message in findings:
             if "used before" in message:
                 yield line, col, message
@@ -368,7 +521,7 @@ class RC403(FlowRule):
 
     def check_function(self, ctx: LintContext,
                        cfg: CFG) -> Iterator[Violation]:
-        _, findings, _, _ = _analyze(cfg)
+        _, findings, _, _ = _analyze(cfg, ctx.inter)
         for line, col, message in findings:
             if "closed twice" in message or "after close" in message:
                 yield line, col, message
@@ -385,7 +538,7 @@ class RC404(FlowRule):
 
     def check_function(self, ctx: LintContext,
                        cfg: CFG) -> Iterator[Violation]:
-        in_states, _, created_at, vol_used = _analyze(cfg)
+        in_states, _, created_at, vol_used = _analyze(cfg, ctx.inter)
         exit_env = in_states.get(cfg.exit)
         if exit_env is None:
             return

@@ -149,8 +149,16 @@ def _definite(dims: Dims) -> Optional[str]:
     return None
 
 
-def _dims(expr: ast.expr, env: Env) -> Dims:
-    """Possible dimensions of ``expr`` under ``env``."""
+def _dims(expr: ast.expr, env: Env,
+          inter: Optional[object] = None) -> Dims:
+    """Possible dimensions of ``expr`` under ``env``.
+
+    With an inter view, a call resolved to a project function whose
+    summary carries a definite return dimension contributes that
+    dimension; the naming heuristic on the callee stays the fallback
+    (precedence: return annotation > summary > name claim — the
+    annotation already won inside the summary itself).
+    """
     if isinstance(expr, ast.Constant):
         if isinstance(expr.value, (int, float)) \
                 and not isinstance(expr.value, bool):
@@ -166,12 +174,12 @@ def _dims(expr: ast.expr, env: Env) -> Dims:
         claimed = claim(expr.attr)
         return frozenset({claimed}) if claimed else frozenset({UNKNOWN})
     if isinstance(expr, ast.UnaryOp):
-        return _dims(expr.operand, env)
+        return _dims(expr.operand, env, inter)
     if isinstance(expr, ast.IfExp):
-        return _dims(expr.body, env) | _dims(expr.orelse, env)
+        return _dims(expr.body, env, inter) | _dims(expr.orelse, env, inter)
     if isinstance(expr, ast.BinOp):
-        left = _dims(expr.left, env)
-        right = _dims(expr.right, env)
+        left = _dims(expr.left, env, inter)
+        right = _dims(expr.right, env, inter)
         return frozenset(
             _combine(expr.op, a, b) for a in left for b in right)
     if isinstance(expr, ast.Call):
@@ -179,20 +187,25 @@ def _dims(expr: ast.expr, env: Env) -> Dims:
         func_name = func.attr if isinstance(func, ast.Attribute) else (
             func.id if isinstance(func, ast.Name) else None)
         if func_name in ("float", "abs") and len(expr.args) == 1:
-            return _dims(expr.args[0], env)
+            return _dims(expr.args[0], env, inter)
         if func_name in ("max", "min") and expr.args:
             out: Dims = frozenset()
             for arg in expr.args:
-                out = out | _dims(arg, env)
+                out = out | _dims(arg, env, inter)
             return out
+        if inter is not None:
+            summarized = inter.return_dim_for_call(expr)  # type: ignore[attr-defined]
+            if summarized is not None:
+                return frozenset({str(summarized)})
         claimed = claim(func_name)
         return frozenset({claimed}) if claimed else frozenset({UNKNOWN})
     return frozenset({UNKNOWN})
 
 
 class _UnitsAnalysis(ForwardAnalysis):
-    def __init__(self, cfg: CFG) -> None:
+    def __init__(self, cfg: CFG, inter: Optional[object] = None) -> None:
         self.cfg = cfg
+        self.inter = inter
 
     def initial(self, cfg: CFG) -> Env:
         env = Env()
@@ -205,11 +218,12 @@ class _UnitsAnalysis(ForwardAnalysis):
         return env
 
     def transfer(self, cfg: CFG, node: CFGNode, env: Env) -> Env:
-        return _apply(node, env, report=None)
+        return _apply(node, env, report=None, inter=self.inter)
 
 
 def _apply(node: CFGNode, env: Env,
-           report: Optional[List[Violation]]) -> Env:
+           report: Optional[List[Violation]],
+           inter: Optional[object] = None) -> Env:
     stmt = node.ast_node
     if stmt is None:
         return env
@@ -219,8 +233,8 @@ def _apply(node: CFGNode, env: Env,
         for sub in walk_exprs(exprs):
             if isinstance(sub, ast.BinOp) \
                     and isinstance(sub.op, (ast.Add, ast.Sub)):
-                left = _definite(_dims(sub.left, env))
-                right = _definite(_dims(sub.right, env))
+                left = _definite(_dims(sub.left, env, inter))
+                right = _definite(_dims(sub.right, env, inter))
                 if left and right and left != right:
                     op = "+" if isinstance(sub.op, ast.Add) else "-"
                     report.append((sub.lineno, sub.col_offset,
@@ -229,8 +243,8 @@ def _apply(node: CFGNode, env: Env,
             elif isinstance(sub, ast.Compare):
                 operands = [sub.left] + list(sub.comparators)
                 for first, second in zip(operands, operands[1:]):
-                    left = _definite(_dims(first, env))
-                    right = _definite(_dims(second, env))
+                    left = _definite(_dims(first, env, inter))
+                    right = _definite(_dims(second, env, inter))
                     if left and right and left != right:
                         report.append((sub.lineno, sub.col_offset,
                                        f"comparing mismatched dimensions: "
@@ -242,7 +256,7 @@ def _apply(node: CFGNode, env: Env,
                     claimed = claim(kw.arg)
                     if claimed not in CONCRETE:
                         continue
-                    actual = _definite(_dims(kw.value, env))
+                    actual = _definite(_dims(kw.value, env, inter))
                     if actual and actual != claimed:
                         report.append((kw.value.lineno, kw.value.col_offset,
                                        f"argument {kw.arg!r} declares "
@@ -261,7 +275,7 @@ def _apply(node: CFGNode, env: Env,
                     declared = declared or claim(target.attr)
                 if declared not in CONCRETE:
                     continue
-                actual = _definite(_dims(stmt.value, env))
+                actual = _definite(_dims(stmt.value, env, inter))
                 if actual and actual != declared:
                     report.append((stmt.lineno, stmt.col_offset,
                                    f"storing {actual} into "
@@ -274,7 +288,7 @@ def _apply(node: CFGNode, env: Env,
             and stmt.value is not None:
         targets = stmt.targets if isinstance(stmt, ast.Assign) \
             else [stmt.target]
-        value_dims = _dims(stmt.value, env)
+        value_dims = _dims(stmt.value, env, inter)
         for target in targets:
             if isinstance(target, ast.Name):
                 declared = None
@@ -317,15 +331,16 @@ def _target_label(target: ast.expr) -> str:
     return "target"
 
 
-def _analyze(cfg: CFG) -> List[Violation]:
+def _analyze(cfg: CFG, inter: Optional[object] = None) -> List[Violation]:
     cached = getattr(cfg, "_units", None)
     if cached is not None:
         return cached
-    in_states = solve(cfg, _UnitsAnalysis(cfg))
+    in_states = solve(cfg, _UnitsAnalysis(cfg, inter))
     findings: List[Violation] = []
     for node in cfg.stmt_nodes():
         if node.index in in_states:
-            _apply(node, in_states[node.index], report=findings)
+            _apply(node, in_states[node.index], report=findings,
+                   inter=inter)
     cfg._units = findings  # type: ignore[attr-defined]
     return findings
 
@@ -340,7 +355,7 @@ class RC501(FlowRule):
 
     def check_function(self, ctx: LintContext,
                        cfg: CFG) -> Iterator[Violation]:
-        for line, col, message in _analyze(cfg):
+        for line, col, message in _analyze(cfg, ctx.inter):
             if "adding mismatched" in message:
                 yield line, col, message
 
@@ -356,7 +371,7 @@ class RC502(FlowRule):
 
     def check_function(self, ctx: LintContext,
                        cfg: CFG) -> Iterator[Violation]:
-        for line, col, message in _analyze(cfg):
+        for line, col, message in _analyze(cfg, ctx.inter):
             if "storing" in message or "declares" in message:
                 yield line, col, message
 
@@ -371,6 +386,6 @@ class RC503(FlowRule):
 
     def check_function(self, ctx: LintContext,
                        cfg: CFG) -> Iterator[Violation]:
-        for line, col, message in _analyze(cfg):
+        for line, col, message in _analyze(cfg, ctx.inter):
             if "comparing mismatched" in message:
                 yield line, col, message

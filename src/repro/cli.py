@@ -62,6 +62,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import Optional, Sequence
@@ -459,7 +460,29 @@ def _cmd_check(args) -> int:
     if not paths:
         raise SystemExit("no paths to check (run from the repo root, or "
                          "pass files/directories explicitly)")
-    findings = lint_paths(paths, flow=args.flow)
+    if args.stats:
+        from repro.check import suppression_stats
+
+        stats = suppression_stats(paths)
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    if args.inter:
+        from repro.check import check_paths
+
+        result = check_paths(paths, flow=True, inter=True,
+                             workers=args.workers,
+                             cache_dir=args.cache_dir)
+        findings = result.diff_findings() if args.diff else result.findings
+        mode = "tree-hit" if result.tree_hit else (
+            f"{result.stats.get('analyzed', 0)}/"
+            f"{result.stats.get('files', 0)} files re-analyzed")
+        if args.format == "text":
+            print(f"inter tier: {mode}", file=sys.stderr)
+    else:
+        if args.diff:
+            raise SystemExit("--diff requires --inter (the incremental "
+                             "cache records what changed)")
+        findings = lint_paths(paths, flow=args.flow)
     if args.format == "json":
         print(findings_to_json(findings))
     elif args.format == "sarif":
@@ -785,6 +808,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also run the flow-sensitive tier (RC4xx "
                               "async-API typestate, RC5xx unit "
                               "consistency): CFG + fixpoint per function")
+    p_check.add_argument("--inter", action="store_true",
+                         help="also run the interprocedural tier (implies "
+                              "--flow): call graph + function summaries "
+                              "sharpen RC4xx/RC5xx and enable "
+                              "RC405/RC110/RC111; incremental via "
+                              ".repro-check-cache/")
+    p_check.add_argument("--diff", action="store_true",
+                         help="with --inter: report findings only for "
+                              "files re-analyzed this run (changed files "
+                              "plus everything the reverse call graph "
+                              "invalidated)")
+    p_check.add_argument("--workers", type=int, default=None,
+                         help="with --inter: lint fan-out process count "
+                              "(output is byte-identical for any value)")
+    p_check.add_argument("--cache-dir", default=".repro-check-cache",
+                         help="with --inter: incremental cache directory "
+                              "(default: .repro-check-cache)")
+    p_check.add_argument("--stats", action="store_true",
+                         help="print the suppression audit (every "
+                              "in-source suppression with its rules, "
+                              "justification and validity) as JSON and "
+                              "exit")
     p_check.add_argument("--format", choices=["text", "json", "sarif"],
                          default="text",
                          help="findings output format (json/sarif for CI "

@@ -40,9 +40,10 @@ def rule_ids(findings):
 
 def test_registry_has_all_rule_bands():
     assert set(RULES) == {
-        "RC101", "RC102", "RC201", "RC202", "RC203", "RC205",
+        "RC101", "RC102", "RC110", "RC111",
+        "RC201", "RC202", "RC203", "RC205",
         "RC301", "RC302", "RC303",
-        "RC401", "RC402", "RC403", "RC404",
+        "RC401", "RC402", "RC403", "RC404", "RC405",
         "RC501", "RC502", "RC503",
     }
 
@@ -345,7 +346,9 @@ def test_suppression_covers_only_named_rules():
         "import time, random\n"
         "t0 = time.time()  # repro-check: disable=RC102 (wrong rule named)\n"
     )
-    assert rule_ids(lint_source(src, SIM_PATH)) == ["RC101"]
+    # The wrong-rule directive does not silence RC101, and RC003 flags
+    # it as orphaned: RC102 never fires on the covered line.
+    assert rule_ids(lint_source(src, SIM_PATH)) == ["RC101", "RC003"]
 
 
 def test_rc000_syntax_error():
