@@ -2,7 +2,14 @@
 
 Copies the analyzer's slice of the repository into a scratch tree and
 runs :func:`repro.check.driver.check_paths` (the engine behind
-``repro check --flow --inter``) four ways:
+``repro check --flow --inter [--concurrency]``) as two rows:
+
+- **check_full** — the flow + inter tiers (``--flow --inter``);
+- **check_concurrency** — the same plus the whole-project concurrency
+  tier (``--concurrency``), which adds the lock-set dataflow and the
+  acquisition-order/wait-trigger index on top of the summary pass.
+
+Each row measures four legs:
 
 - **cold, 1 worker** and **cold, 4 workers** — empty caches, full
   summary computation, fanned-out lint;
@@ -11,13 +18,15 @@ runs :func:`repro.check.driver.check_paths` (the engine behind
 - **diff** — one helper file touched, which must re-analyze only that
   file plus whatever the reverse call graph invalidates.
 
-Gates:
+Gates (per row):
 
 - zero findings (the repo-wide clean gate, same as CI);
-- every run's findings byte-identical (worker count and cache state
+- every leg's findings byte-identical (worker count and cache state
   must not change output);
-- warm speedup (cold / warm wall time) at or above the ``check_full``
-  floor in ``benchmarks/perf_budget.json``.
+- warm speedup (cold / warm wall time) at or above that row's floor in
+  ``benchmarks/perf_budget.json`` — for ``check_concurrency`` this is
+  the budget gate on the tier's warm-cache overhead: a slow warm rerun
+  (i.e. the conc index failing to ride the tree key) sinks the ratio.
 
 Results land in ``BENCH_check.json`` at the repository root.
 
@@ -62,6 +71,12 @@ FULL_GLOBS = (
 #: Touched for the ``--diff`` leg (must exist in both shapes).
 TOUCH_FILE = "src/repro/check/callgraph.py"
 
+#: Benchmark rows: budget key -> extra check_paths() kwargs.
+ROWS = (
+    ("check_full", {}),
+    ("check_concurrency", {"concurrency": True}),
+)
+
 
 def _materialize(globs, scratch: pathlib.Path) -> int:
     copied = 0
@@ -88,9 +103,36 @@ def _timed(paths, **kwargs):
     return time.perf_counter() - start, result
 
 
-def load_floor(mode: str) -> float:
+def load_floor(mode: str, row: str) -> float:
     budgets = json.loads(BUDGET_PATH.read_text())
-    return budgets[mode]["check_full"]
+    return budgets[mode][row]
+
+
+def _run_row(paths, row: str, mode: str, extra) -> dict:
+    """Cold/warm legs for one row (the diff leg is added later)."""
+    cold_1w_s, cold_1w = _timed(paths, workers=1,
+                                cache_dir=f".{row}.c1", **extra)
+    cold_4w_s, cold_4w = _timed(paths, workers=4,
+                                cache_dir=f".{row}.c4", **extra)
+    warm_s, warm = _timed(paths, workers=4,
+                          cache_dir=f".{row}.c4", **extra)
+    warm_speedup = cold_4w_s / warm_s if warm_s > 0 else float("inf")
+    return {
+        "cold_1w_s": round(cold_1w_s, 4),
+        "cold_4w_s": round(cold_4w_s, 4),
+        "warm_s": round(warm_s, 4),
+        "warm_speedup": round(warm_speedup, 2),
+        "warm_speedup_floor": load_floor(mode, row),
+        "warm_tree_hit": warm.tree_hit,
+        "findings": len(cold_4w.findings),
+        "identical": {
+            "cold_1w_vs_cold_4w":
+                _wire(cold_1w.findings) == _wire(cold_4w.findings),
+            "cold_vs_warm":
+                _wire(cold_4w.findings) == _wire(warm.findings),
+        },
+        "_cold_wire": _wire(cold_4w.findings),
+    }
 
 
 def run_bench(smoke=False, out=DEFAULT_OUT):
@@ -103,47 +145,35 @@ def run_bench(smoke=False, out=DEFAULT_OUT):
         os.chdir(scratch)  # relative paths -> CLI-identical module names
         paths = ["src", "tests"]
 
-        cold_1w_s, cold_1w = _timed(paths, workers=1, cache_dir=".c1")
-        cold_4w_s, cold_4w = _timed(paths, workers=4, cache_dir=".c4")
-        warm_s, warm = _timed(paths, workers=4, cache_dir=".c4")
+        rows = {row: _run_row(paths, row, mode, extra)
+                for row, extra in ROWS}
 
+        # One shared touch serves every row's diff leg: the warm caches
+        # above were built against the pristine tree.
         touched = scratch / TOUCH_FILE
         touched.write_text(touched.read_text(encoding="utf-8")
                            + "\n# bench-check diff probe\n",
                            encoding="utf-8")
-        diff_s, diff = _timed(paths, workers=4, cache_dir=".c4")
+        for row, extra in ROWS:
+            diff_s, diff = _timed(paths, workers=4,
+                                  cache_dir=f".{row}.c4", **extra)
+            rows[row]["diff_s"] = round(diff_s, 4)
+            rows[row]["diff_reanalyzed"] = len(diff.analyzed)
+            rows[row]["identical"]["cold_vs_diff"] = (
+                rows[row].pop("_cold_wire") == _wire(diff.findings))
     finally:
         os.chdir(prev_cwd)
         shutil.rmtree(scratch, ignore_errors=True)
 
-    warm_speedup = cold_4w_s / warm_s if warm_s > 0 else float("inf")
-    payload = {
-        "mode": mode,
-        "files": n_files,
-        "cold_1w_s": round(cold_1w_s, 4),
-        "cold_4w_s": round(cold_4w_s, 4),
-        "warm_s": round(warm_s, 4),
-        "diff_s": round(diff_s, 4),
-        "warm_speedup": round(warm_speedup, 2),
-        "warm_speedup_floor": load_floor(mode),
-        "warm_tree_hit": warm.tree_hit,
-        "diff_reanalyzed": len(diff.analyzed),
-        "findings": len(cold_4w.findings),
-        "identical": {
-            "cold_1w_vs_cold_4w":
-                _wire(cold_1w.findings) == _wire(cold_4w.findings),
-            "cold_vs_warm":
-                _wire(cold_4w.findings) == _wire(warm.findings),
-            "cold_vs_diff":
-                _wire(cold_4w.findings) == _wire(diff.findings),
-        },
-    }
-    print(f"check bench ({mode}, {n_files} files): "
-          f"cold 1w {cold_1w_s:.2f}s  cold 4w {cold_4w_s:.2f}s  "
-          f"warm {warm_s:.3f}s  diff {diff_s:.2f}s")
-    print(f"warm speedup {warm_speedup:.1f}x "
-          f"(floor {payload['warm_speedup_floor']:.1f}x), "
-          f"diff re-analyzed {len(diff.analyzed)} file(s)")
+    payload = {"mode": mode, "files": n_files, "rows": rows}
+    for row, stats in rows.items():
+        print(f"check bench [{row}] ({mode}, {n_files} files): "
+              f"cold 1w {stats['cold_1w_s']:.2f}s  "
+              f"cold 4w {stats['cold_4w_s']:.2f}s  "
+              f"warm {stats['warm_s']:.3f}s  diff {stats['diff_s']:.2f}s")
+        print(f"  warm speedup {stats['warm_speedup']:.1f}x "
+              f"(floor {stats['warm_speedup_floor']:.1f}x), "
+              f"diff re-analyzed {stats['diff_reanalyzed']} file(s)")
     out = pathlib.Path(out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"[saved to {out}]")
@@ -153,26 +183,28 @@ def run_bench(smoke=False, out=DEFAULT_OUT):
 def check_gate(payload):
     """Human-readable gate failures; empty means pass."""
     failures = []
-    if payload["findings"] != 0:
-        failures.append(
-            f"repo-wide inter tier reported {payload['findings']} "
-            f"finding(s); the gate requires zero")
-    for leg, same in payload["identical"].items():
-        if not same:
-            failures.append(f"output differs across {leg}")
-    if not payload["warm_tree_hit"]:
-        failures.append("warm rerun missed the whole-tree cache key")
-    if payload["warm_speedup"] < payload["warm_speedup_floor"]:
-        failures.append(
-            f"warm speedup {payload['warm_speedup']:.1f}x is below the "
-            f"{payload['warm_speedup_floor']:.1f}x floor "
-            f"(cold {payload['cold_4w_s']:.2f}s, "
-            f"warm {payload['warm_s']:.3f}s)")
-    if payload["diff_reanalyzed"] >= payload["files"]:
-        failures.append(
-            f"diff leg re-analyzed every file "
-            f"({payload['diff_reanalyzed']}/{payload['files']}): "
-            f"invalidation is not incremental")
+    for row, stats in payload["rows"].items():
+        if stats["findings"] != 0:
+            failures.append(
+                f"[{row}] reported {stats['findings']} finding(s); "
+                f"the repo-wide gate requires zero")
+        for leg, same in stats["identical"].items():
+            if not same:
+                failures.append(f"[{row}] output differs across {leg}")
+        if not stats["warm_tree_hit"]:
+            failures.append(
+                f"[{row}] warm rerun missed the whole-tree cache key")
+        if stats["warm_speedup"] < stats["warm_speedup_floor"]:
+            failures.append(
+                f"[{row}] warm speedup {stats['warm_speedup']:.1f}x is "
+                f"below the {stats['warm_speedup_floor']:.1f}x floor "
+                f"(cold {stats['cold_4w_s']:.2f}s, "
+                f"warm {stats['warm_s']:.3f}s)")
+        if stats["diff_reanalyzed"] >= payload["files"]:
+            failures.append(
+                f"[{row}] diff leg re-analyzed every file "
+                f"({stats['diff_reanalyzed']}/{payload['files']}): "
+                f"invalidation is not incremental")
     return failures
 
 

@@ -41,12 +41,15 @@ from repro.check.rules import RULES, all_rules
 
 __all__ = [
     "CheckResult",
+    "ConcEffects",
+    "ConcIndex",
     "Finding",
     "InterContext",
     "RULES",
     "RuntimeChecker",
     "RuntimeFinding",
     "all_rules",
+    "build_conc_index",
     "check_paths",
     "findings_to_json",
     "findings_to_sarif",
@@ -66,6 +69,9 @@ _LAZY = {
     "CheckResult": "driver",
     "check_paths": "driver",
     "InterContext": "summaries",
+    "ConcEffects": "concurrency",
+    "ConcIndex": "concurrency",
+    "build_conc_index": "concurrency",
 }
 
 

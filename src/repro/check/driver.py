@@ -44,6 +44,7 @@ from repro.check.callgraph import (
     build_index,
     strongly_connected_components,
 )
+from repro.check.concurrency import ConcIndex, build_conc_index
 from repro.check.lint import Finding, _iter_python_files, lint_source
 from repro.check.summaries import (
     FunctionSummary,
@@ -54,7 +55,7 @@ from repro.check.summaries import (
 __all__ = ["CheckResult", "check_paths"]
 
 #: Bump to invalidate every cache entry (rule or summary format change).
-CACHE_VERSION = 3
+CACHE_VERSION = 4
 CACHE_FILE = "cache.json"
 
 
@@ -172,8 +173,14 @@ def _summaries_with_cache(
 
 
 def _file_key(path: str, content_hash: str, flow: bool, inter: bool,
-              ctx: Optional[InterContext]) -> str:
-    """Findings cache key: content + flags + resolved-callee digests."""
+              concurrency: bool, ctx: Optional[InterContext]) -> str:
+    """Findings cache key: content + flags + resolved-callee digests.
+
+    Under ``--concurrency`` the whole-project ``ConcIndex`` digest
+    joins the key: an RC6xx finding in this file can be produced (or
+    excused) by code with no call-graph edge to it — a cycle-closing
+    acquisition elsewhere, a trigger appearing anywhere — so per-file
+    reuse is only sound while the global verdicts are unchanged."""
     callee_digests: List[Tuple[str, str]] = []
     if ctx is not None and path in ctx.trees:
         view = ctx.own_view(path)
@@ -182,8 +189,11 @@ def _file_key(path: str, content_hash: str, flow: bool, inter: bool,
             (q, ctx.summaries[q].digest)
             for q in quals if q in ctx.summaries
         ]
+    conc_digest = ""
+    if concurrency and ctx is not None and ctx.conc is not None:
+        conc_digest = ctx.conc.digest
     return _key_of([CACHE_VERSION, path, content_hash, flow, inter,
-                    callee_digests])
+                    concurrency, conc_digest, callee_digests])
 
 
 # -- worker-side state (fork start method shares it copy-on-write) ----------
@@ -193,17 +203,24 @@ _WORKER: Dict[str, object] = {}
 
 def _worker_init(index: ProjectIndex,
                  summaries: Dict[str, FunctionSummary],
-                 flow: bool) -> None:
+                 flow: bool,
+                 prim_attrs: Dict[str, str],
+                 conc: Optional[ConcIndex],
+                 concurrency: bool) -> None:
     shim = InterContext(index, {})
     shim.summaries = summaries
+    shim.prim_attrs = prim_attrs
+    shim.conc = conc
     _WORKER["inter"] = shim
     _WORKER["flow"] = flow
+    _WORKER["concurrency"] = concurrency
 
 
 def _worker_lint(task: Tuple[str, str]) -> Tuple[str, List[Dict[str, object]]]:
     path, text = task
     findings = lint_source(text, path=path, flow=bool(_WORKER["flow"]),
-                           inter=_WORKER["inter"])
+                           inter=_WORKER["inter"],
+                           concurrency=bool(_WORKER["concurrency"]))
     return path, _findings_to_wire(findings)
 
 
@@ -212,13 +229,18 @@ def check_paths(paths: Iterable[Union[str, pathlib.Path]],
                 inter: bool = True,
                 workers: Optional[int] = None,
                 cache_dir: Union[str, pathlib.Path] = ".repro-check-cache",
-                use_cache: bool = True) -> CheckResult:
+                use_cache: bool = True,
+                concurrency: bool = False) -> CheckResult:
     """Incremental interprocedural lint over ``paths``.
 
     ``workers`` caps the lint fan-out (``None``/``1`` runs serially —
     the output is byte-identical either way).  ``use_cache=False``
     forces a cold run and still writes a fresh cache.
+    ``concurrency=True`` implies ``inter`` and additionally runs the
+    RC6xx conc tier over the assembled project-wide ``ConcIndex``.
     """
+    if concurrency:
+        inter = True
     cache_path = pathlib.Path(cache_dir)
     files = _iter_python_files(paths)
     order: List[str] = []
@@ -232,7 +254,7 @@ def check_paths(paths: Iterable[Union[str, pathlib.Path]],
     hashes = {p: _hash_text(t) for p, t in texts.items()}
 
     cache = _load_cache(cache_path) if use_cache else {}
-    tree_key = _key_of([CACHE_VERSION, flow, inter,
+    tree_key = _key_of([CACHE_VERSION, flow, inter, concurrency,
                         sorted(hashes.items())])
     tree_entry = cache.get("tree")
     if isinstance(tree_entry, dict) and tree_entry.get("key") == tree_key:
@@ -260,6 +282,7 @@ def check_paths(paths: Iterable[Union[str, pathlib.Path]],
             old_units = {}
         units_recomputed = _summaries_with_cache(
             ctx, hashes, old_units, new_units)
+        ctx.conc = build_conc_index(ctx.summaries, ctx.index.functions)
         flow = True
 
     old_files = cache.get("files")
@@ -269,7 +292,8 @@ def check_paths(paths: Iterable[Union[str, pathlib.Path]],
     per_file: Dict[str, List[Finding]] = {}
     pending: List[str] = []
     for posix in order:
-        key = _file_key(posix, hashes[posix], flow, inter, ctx)
+        key = _file_key(posix, hashes[posix], flow, inter, concurrency,
+                        ctx)
         entry = old_files.get(posix)
         if isinstance(entry, dict) and entry.get("key") == key:
             per_file[posix] = _findings_from_wire(entry.get("findings", []))
@@ -287,13 +311,16 @@ def check_paths(paths: Iterable[Union[str, pathlib.Path]],
             with mp.Pool(
                     processes=min(n_workers, len(tasks)),
                     initializer=_worker_init,
-                    initargs=(ctx.index, ctx.summaries, flow)) as pool:
+                    initargs=(ctx.index, ctx.summaries, flow,
+                              ctx.prim_attrs, ctx.conc,
+                              concurrency)) as pool:
                 for posix, rows in pool.map(_worker_lint, tasks):
                     per_file[posix] = _findings_from_wire(rows)
         else:
             for posix, text in tasks:
                 per_file[posix] = lint_source(text, path=posix, flow=flow,
-                                              inter=ctx)
+                                              inter=ctx,
+                                              concurrency=concurrency)
 
     findings: List[Finding] = []
     for posix in order:

@@ -20,11 +20,13 @@ they silenced.  Rules whose tier did not run (flow rules without
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
 import pathlib
 import re
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass, replace
+from typing import (Dict, Iterable, List, Optional, Sequence, Set, Tuple,
+                    Union)
 
 from repro.check.rules import RULES, LintContext
 
@@ -43,11 +45,31 @@ class Finding:
     rule_id: str
     message: str
     hint: str
+    #: Stable identity for baselines: sha256 of rule + path + the
+    #: stripped source line + an occurrence counter — line-number-free,
+    #: so unrelated edits above do not re-key it.
+    fingerprint: str = ""
 
     def format(self) -> str:
         """``path:line:col: RCxyz message (hint: ...)``."""
         return (f"{self.path}:{self.line}:{self.col}: {self.rule_id} "
                 f"{self.message} (hint: {self.hint})")
+
+
+def _with_fingerprints(findings: List[Finding],
+                       lines: Sequence[str]) -> List[Finding]:
+    """Stamp stable fingerprints onto one file's (sorted) findings."""
+    counts: Dict[Tuple[str, str], int] = {}
+    out: List[Finding] = []
+    for f in findings:
+        context = (lines[f.line - 1].strip()
+                   if 0 < f.line <= len(lines) else "")
+        occurrence = counts.get((f.rule_id, context), 0)
+        counts[(f.rule_id, context)] = occurrence + 1
+        blob = "\x1f".join((f.rule_id, f.path, context, str(occurrence)))
+        out.append(replace(f, fingerprint=hashlib.sha256(
+            blob.encode("utf-8")).hexdigest()[:20]))
+    return out
 
 
 _SUPPRESS_RE = re.compile(
@@ -192,7 +214,8 @@ def _orphaned_suppressions(path: str, directives: list[_Directive],
 
 def lint_source(source: str, path: str = "<string>",
                 flow: bool = False,
-                inter: Optional[object] = None) -> list[Finding]:
+                inter: Optional[object] = None,
+                concurrency: bool = False) -> list[Finding]:
     """Lint one file's source text; ``path`` drives rule scoping.
 
     ``flow=True`` additionally runs the flow-sensitive tier (RC4xx
@@ -201,20 +224,25 @@ def lint_source(source: str, path: str = "<string>",
     ``inter`` (an :class:`~repro.check.summaries.InterContext`) enables
     the interprocedural tier: RC405/RC110/RC111 run and the flow rules
     consult callee summaries instead of the escape hedge.
+    ``concurrency=True`` additionally runs the conc tier (RC6xx) —
+    it needs ``inter`` whose context carries an assembled
+    :class:`~repro.check.concurrency.ConcIndex`.
     """
     path = pathlib.PurePath(path).as_posix()
     lines = source.splitlines()
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as err:
-        return [Finding(
+        return _with_fingerprints([Finding(
             path, err.lineno or 1, (err.offset or 1) - 1, "RC000",
             f"syntax error: {err.msg}", _META_HINTS["RC000"],
-        )]
+        )], lines)
     directives, findings = _parse_directives(path, lines, tree)
     file_inter = None
     if inter is not None:
         file_inter = inter.file_view(path, tree)  # type: ignore[attr-defined]
+    conc_ready = (concurrency and file_inter is not None
+                  and getattr(file_inter, "conc", None) is not None)
     ctx = LintContext(path=path, tree=tree, source=source, lines=lines,
                       inter=file_inter)
     raw: List[Tuple[str, int]] = []
@@ -224,6 +252,8 @@ def lint_source(source: str, path: str = "<string>",
         if rule.tier == "flow" and not flow:
             continue
         if rule.tier == "inter" and file_inter is None:
+            continue
+        if rule.tier == "conc" and not conc_ready:
             continue
         if not rule.applies(ctx):
             continue
@@ -237,7 +267,7 @@ def lint_source(source: str, path: str = "<string>",
     findings.extend(
         _orphaned_suppressions(path, directives, lines, raw, executed))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
-    return findings
+    return _with_fingerprints(findings, lines)
 
 
 def _iter_python_files(paths: Iterable[Union[str, pathlib.Path]]
@@ -255,17 +285,22 @@ def _iter_python_files(paths: Iterable[Union[str, pathlib.Path]]
 
 
 def lint_paths(paths: Iterable[Union[str, pathlib.Path]],
-               flow: bool = False, inter: bool = False) -> list[Finding]:
+               flow: bool = False, inter: bool = False,
+               concurrency: bool = False) -> list[Finding]:
     """Lint every ``*.py`` file under ``paths`` (files or directories).
 
     ``inter=True`` implies ``flow`` and builds one project-wide
     :class:`~repro.check.summaries.InterContext` over all the files
-    first, so the rules see cross-file summaries.  (The cached parallel
-    variant of this lives in :mod:`repro.check.driver`.)
+    first, so the rules see cross-file summaries.
+    ``concurrency=True`` implies ``inter`` and additionally runs the
+    RC6xx conc tier over the assembled ``ConcIndex``.  (The cached
+    parallel variant of this lives in :mod:`repro.check.driver`.)
     """
     files = _iter_python_files(paths)
     texts = {fp: fp.read_text(encoding="utf-8") for fp in files}
     context = None
+    if concurrency:
+        inter = True
     if inter:
         from repro.check.summaries import InterContext
         flow = True
@@ -277,7 +312,7 @@ def lint_paths(paths: Iterable[Union[str, pathlib.Path]],
     for file_path in files:
         findings.extend(
             lint_source(texts[file_path], path=str(file_path), flow=flow,
-                        inter=context)
+                        inter=context, concurrency=concurrency)
         )
     return findings
 
@@ -319,6 +354,7 @@ def findings_to_json(findings: Sequence[Finding]) -> str:
                 "rule_id": f.rule_id,
                 "message": f.message,
                 "hint": f.hint,
+                "fingerprint": f.fingerprint,
             }
             for f in findings
         ],
@@ -353,6 +389,7 @@ def findings_to_sarif(findings: Sequence[Finding]) -> str:
             "ruleIndex": index[f.rule_id],
             "level": "error",
             "message": {"text": f"{f.message} (hint: {f.hint})"},
+            "partialFingerprints": {"reproCheck/v1": f.fingerprint},
             "locations": [{
                 "physicalLocation": {
                     "artifactLocation": {

@@ -33,6 +33,11 @@ Tiers
     ``repro check --inter``).  The flow rules also *sharpen* under this
     tier: handles passed to resolved project functions apply the
     callee's effect summary instead of the escape hedge.
+``"conc"``
+    Whole-project concurrency rules (RC6xx) over the acquisition-order
+    graph and wait/trigger matching in :mod:`repro.check.concurrency`;
+    run only when the inter view also carries an assembled
+    ``ConcIndex`` (CLI ``repro check --concurrency``).
 
 Adding a rule
 -------------
@@ -157,7 +162,7 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
         raise ValueError(f"rule {rule_cls.__name__} lacks id/title/hint")
     if rule.scope not in ("repo", "sim"):
         raise ValueError(f"rule {rule.id}: unknown scope {rule.scope!r}")
-    if rule.tier not in ("flat", "flow", "inter"):
+    if rule.tier not in ("flat", "flow", "inter", "conc"):
         raise ValueError(f"rule {rule.id}: unknown tier {rule.tier!r}")
     if rule.id in RULES:
         raise ValueError(f"duplicate rule id {rule.id}")
@@ -181,4 +186,5 @@ from repro.check.rules import (  # noqa: E402,F401
     robustness,
     units,
     interproc,
+    concurrency,
 )

@@ -49,6 +49,16 @@ from repro.check.callgraph import (
     strongly_connected_components,
 )
 from repro.check.cfg import CFG, CFGNode, FuncDef, build_cfg
+from repro.check.concurrency import (
+    ConcEffects,
+    ConcIndex,
+    EMPTY_CONC,
+    analyze_function,
+    build_conc_index,
+    collect_prim_attrs,
+    conservative_conc,
+    optimistic_conc,
+)
 from repro.check.dataflow import FixpointDiverged, ForwardAnalysis, solve
 from repro.check.domains import UNBOUND, Env
 from repro.check.rules.asyncstate import (
@@ -131,6 +141,9 @@ class FunctionSummary:
     #: Determinism taint of the return value: ``clock``/``rng`` plus
     #: ``param:<i>`` pass-through tokens.
     return_taint: FrozenSet[str]
+    #: Concurrency effect set (lock/wait/trigger ops, acquisition
+    #: pairs, spawned-task writes) for the ``--concurrency`` tier.
+    conc: ConcEffects = EMPTY_CONC
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -142,11 +155,13 @@ class FunctionSummary:
             "return_from_param": self.return_from_param,
             "return_dim": self.return_dim,
             "return_taint": sorted(self.return_taint),
+            "conc": self.conc.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "FunctionSummary":
         states = data["return_states"]
+        conc_data = data.get("conc")
         return cls(
             qualname=str(data["qualname"]),
             params=tuple(data["params"]),  # type: ignore[arg-type]
@@ -160,12 +175,18 @@ class FunctionSummary:
                         if data["return_dim"] is not None else None),
             return_taint=frozenset(
                 data["return_taint"]),  # type: ignore[arg-type]
+            conc=(ConcEffects.from_dict(conc_data)  # type: ignore[arg-type]
+                  if conc_data is not None else EMPTY_CONC),
         )
 
     @property
     def digest(self) -> str:
-        """Stable content hash (cache keys, invalidation)."""
-        blob = json.dumps(self.to_dict(), sort_keys=True,
+        """Stable content hash (cache keys, invalidation).  Concurrency
+        effects enter site-free so a pure line shift in a callee does
+        not re-key (and re-lint) every caller."""
+        data = self.to_dict()
+        data["conc"] = self.conc.to_dict(sites=False)
+        blob = json.dumps(data, sort_keys=True,
                           separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
@@ -176,7 +197,8 @@ def conservative_summary(info: FunctionInfo) -> FunctionSummary:
         qualname=info.qualname, params=info.params,
         param_effects=tuple(frozenset({ARG_ESCAPED}) for _ in info.params),
         return_states=None, return_from_param=False,
-        return_dim=None, return_taint=frozenset())
+        return_dim=None, return_taint=frozenset(),
+        conc=conservative_conc(info))
 
 
 def _optimistic_summary(info: FunctionInfo) -> FunctionSummary:
@@ -185,7 +207,8 @@ def _optimistic_summary(info: FunctionInfo) -> FunctionSummary:
         qualname=info.qualname, params=info.params,
         param_effects=tuple(frozenset({ARG}) for _ in info.params),
         return_states=None, return_from_param=False,
-        return_dim=None, return_taint=frozenset())
+        return_dim=None, return_taint=frozenset(),
+        conc=optimistic_conc(info))
 
 
 # ---------------------------------------------------------------------------
@@ -538,7 +561,9 @@ def summarize_function(info: FunctionInfo, func: FuncDef,
         param_effects=param_effects,
         return_states=return_states, return_from_param=from_param,
         return_dim=_return_dim(func, cfg, view),
-        return_taint=_return_taint(cfg, view))
+        return_taint=_return_taint(cfg, view),
+        conc=(analyze_function(info, func, view)
+              if view is not None else conservative_conc(info)))
 
 
 # ---------------------------------------------------------------------------
@@ -555,10 +580,22 @@ class FileInter:
 
     def __init__(self, index: ProjectIndex,
                  summaries: Dict[str, FunctionSummary],
-                 resolver: FileResolver) -> None:
+                 resolver: FileResolver,
+                 ctx: Optional["InterContext"] = None) -> None:
         self.index = index
         self.summaries = summaries
         self.resolver = resolver
+        self._ctx = ctx
+
+    @property
+    def prim_attrs(self) -> Dict[str, str]:
+        """Project-wide ``"<class>.<attr>" -> kind`` primitive map."""
+        return self._ctx.prim_attrs if self._ctx is not None else {}
+
+    @property
+    def conc(self) -> Optional["ConcIndex"]:
+        """Whole-project concurrency verdicts, when assembled."""
+        return self._ctx.conc if self._ctx is not None else None
 
     def resolve(self, call: ast.Call) -> Optional[str]:
         """Callee qualname, or ``None`` for opaque calls."""
@@ -699,6 +736,10 @@ class InterContext:
         self.summaries: Dict[str, FunctionSummary] = {}
         self.edges: Dict[str, Set[str]] = {}
         self.nodes: Dict[str, FuncDef] = {}
+        self.prim_attrs: Dict[str, str] = collect_prim_attrs(trees)
+        #: Assembled by :meth:`build` (or the driver) once summaries
+        #: exist; ``None`` until then.
+        self.conc: Optional[ConcIndex] = None
         self._own_views: Dict[str, FileInter] = {}
         for path in sorted(trees):
             self.nodes.update(
@@ -718,6 +759,7 @@ class InterContext:
         ctx = cls(index, trees)
         ctx.edges = build_call_graph(index, trees)
         compute_summaries(ctx)
+        ctx.conc = build_conc_index(ctx.summaries, ctx.index.functions)
         return ctx
 
     def own_view(self, path: str) -> FileInter:
@@ -725,13 +767,13 @@ class InterContext:
         if path not in self._own_views:
             resolver = FileResolver(self.index, path, self.trees[path])
             self._own_views[path] = FileInter(self.index, self.summaries,
-                                              resolver)
+                                              resolver, ctx=self)
         return self._own_views[path]
 
     def file_view(self, path: str, tree: ast.Module) -> FileInter:
         """View bound to a caller-supplied tree (the one rules walk)."""
         return FileInter(self.index, self.summaries,
-                         FileResolver(self.index, path, tree))
+                         FileResolver(self.index, path, tree), ctx=self)
 
 
 def compute_summaries(ctx: InterContext,

@@ -466,23 +466,50 @@ def _cmd_check(args) -> int:
         stats = suppression_stats(paths)
         print(json.dumps(stats, indent=2, sort_keys=True))
         return 0
-    if args.inter:
+    if args.inter or args.concurrency:
         from repro.check import check_paths
 
         result = check_paths(paths, flow=True, inter=True,
                              workers=args.workers,
-                             cache_dir=args.cache_dir)
+                             cache_dir=args.cache_dir,
+                             concurrency=args.concurrency)
         findings = result.diff_findings() if args.diff else result.findings
         mode = "tree-hit" if result.tree_hit else (
             f"{result.stats.get('analyzed', 0)}/"
             f"{result.stats.get('files', 0)} files re-analyzed")
         if args.format == "text":
-            print(f"inter tier: {mode}", file=sys.stderr)
+            tier = "conc tier" if args.concurrency else "inter tier"
+            print(f"{tier}: {mode}", file=sys.stderr)
     else:
         if args.diff:
             raise SystemExit("--diff requires --inter (the incremental "
                              "cache records what changed)")
         findings = lint_paths(paths, flow=args.flow)
+
+    if args.update_baseline:
+        payload = {
+            "tool": "repro check",
+            "fingerprints": sorted({f.fingerprint for f in findings}),
+        }
+        pathlib.Path(args.update_baseline).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"baseline: {len(payload['fingerprints'])} fingerprint(s) "
+              f"recorded in {args.update_baseline}", file=sys.stderr)
+        return 0
+    if args.baseline:
+        try:
+            known = set(json.loads(
+                pathlib.Path(args.baseline).read_text(encoding="utf-8")
+            ).get("fingerprints", []))
+        except (OSError, ValueError) as err:
+            raise SystemExit(f"--baseline: cannot read {args.baseline}: "
+                             f"{err}")
+        suppressed = sum(1 for f in findings if f.fingerprint in known)
+        findings = [f for f in findings if f.fingerprint not in known]
+        if args.format == "text":
+            print(f"baseline: {suppressed} known finding(s) suppressed, "
+                  f"{len(findings)} regression(s)", file=sys.stderr)
+
     if args.format == "json":
         print(findings_to_json(findings))
     elif args.format == "sarif":
@@ -814,6 +841,22 @@ def build_parser() -> argparse.ArgumentParser:
                               "sharpen RC4xx/RC5xx and enable "
                               "RC405/RC110/RC111; incremental via "
                               ".repro-check-cache/")
+    p_check.add_argument("--concurrency", action="store_true",
+                         help="also run the static concurrency tier "
+                              "(implies --inter): RC601 deadlock cycles, "
+                              "RC602 lost wakeups, RC603 unsynchronized "
+                              "region writes, RC604 claim/release "
+                              "imbalance over the project-wide "
+                              "acquisition graph")
+    p_check.add_argument("--baseline", default=None, metavar="FILE",
+                         help="suppress findings whose fingerprint is "
+                              "recorded in FILE (JSON written by "
+                              "--update-baseline); only regressions are "
+                              "reported and gate the exit code")
+    p_check.add_argument("--update-baseline", default=None, metavar="FILE",
+                         help="write the current findings' fingerprints "
+                              "to FILE and exit 0 (adopt-incrementally "
+                              "mode for a new subsystem)")
     p_check.add_argument("--diff", action="store_true",
                          help="with --inter: report findings only for "
                               "files re-analyzed this run (changed files "

@@ -45,6 +45,7 @@ def test_registry_has_all_rule_bands():
         "RC301", "RC302", "RC303",
         "RC401", "RC402", "RC403", "RC404", "RC405",
         "RC501", "RC502", "RC503",
+        "RC601", "RC602", "RC603", "RC604",
     }
 
 
